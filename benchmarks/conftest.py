@@ -1,0 +1,19 @@
+"""Shared state for the table/figure benches.
+
+The experiment context (default synthetic corpus + Table-II-style testing
+subset) is built once per session; every bench reproduces one exhibit of
+the paper and asserts its *shape* facts (who wins, what improves, what the
+trend is) rather than absolute numbers — the substrate is a synthetic
+corpus, not the authors' DBLP dump.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentContext, make_context
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return make_context()

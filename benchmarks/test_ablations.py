@@ -1,0 +1,93 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper exhibit — these benches quantify the knobs the paper leaves
+implicit: η, triangle certification, the triangle-instance guard, EM
+sample rate, vertex-splitting balance, and the second merge round.
+"""
+
+import pytest
+
+from repro.core import IUAD, IUADConfig
+from repro.eval.metrics import micro_metrics
+from repro.graphs import build_scn
+
+
+def _gcn_metrics(ctx, config):
+    iuad = IUAD(config).fit(ctx.corpus, names=ctx.testing.names)
+    return micro_metrics(
+        {n: iuad.clusters_of_name(n) for n in ctx.testing.names}, ctx.truth
+    )
+
+
+def _scn_metrics(ctx, **kwargs):
+    net, _ = build_scn(ctx.corpus, **kwargs)
+    return micro_metrics(
+        {n: net.clusters_of_name(n) for n in ctx.testing.names}, ctx.truth
+    )
+
+
+class TestEtaSweep:
+    """η trades Stage-1 recall against precision."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, ctx):
+        return {eta: _scn_metrics(ctx, eta=eta) for eta in (2, 3, 4)}
+
+    def test_recall_decreases_with_eta(self, benchmark, sweep):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        recalls = [sweep[e].recall for e in (2, 3, 4)]
+        assert recalls[0] >= recalls[1] >= recalls[2]
+
+    def test_precision_stays_high(self, benchmark, sweep):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for eta, counts in sweep.items():
+            assert counts.precision >= 0.85, f"eta={eta}"
+
+
+class TestTriangleGuards:
+    def test_certification_protects_precision(self, benchmark, ctx):
+        on = benchmark.pedantic(
+            _scn_metrics, args=(ctx,), kwargs={"certify_triangles": True},
+            rounds=1, iterations=1,
+        )
+        off = _scn_metrics(ctx, certify_triangles=False)
+        assert on.precision >= off.precision
+
+    def test_triangle_instance_guard_protects_precision(self, benchmark, ctx):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        strict = _scn_metrics(ctx, require_triangle_instance=True)
+        loose = _scn_metrics(ctx, require_triangle_instance=False)
+        assert strict.precision >= loose.precision
+
+
+class TestStage2Knobs:
+    def test_second_merge_round_trades_precision_for_recall(self, benchmark, ctx):
+        two = benchmark.pedantic(
+            _gcn_metrics, args=(ctx, IUADConfig(merge_rounds=2)),
+            rounds=1, iterations=1,
+        )
+        one = _gcn_metrics(ctx, IUADConfig(merge_rounds=1))
+        assert two.recall >= one.recall - 1e-9
+        assert two.f1 >= one.f1 - 0.05
+
+    def test_sample_rate_tenth_matches_full(self, benchmark, ctx):
+        """Training on 10% of candidate pairs (the paper's efficiency trick)
+        must not cost much quality vs training on all pairs."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        tenth = _gcn_metrics(ctx, IUADConfig(sample_rate=0.10))
+        full = _gcn_metrics(ctx, IUADConfig(sample_rate=1.0))
+        assert tenth.f1 >= full.f1 - 0.08
+
+    def test_balance_split_helps_or_holds(self, benchmark, ctx):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        with_split = _gcn_metrics(ctx, IUADConfig(balance_split=True))
+        without = _gcn_metrics(ctx, IUADConfig(balance_split=False))
+        assert with_split.f1 >= without.f1 - 0.05
+
+    def test_wl_depth_insensitive(self, benchmark, ctx):
+        """Structural similarity is weak (paper Fig 6); h should not swing
+        the outcome."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        h1 = _gcn_metrics(ctx, IUADConfig(wl_iterations=1))
+        h3 = _gcn_metrics(ctx, IUADConfig(wl_iterations=3))
+        assert abs(h1.f1 - h3.f1) <= 0.10

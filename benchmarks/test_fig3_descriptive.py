@@ -1,0 +1,39 @@
+"""Figure 3 — descriptive analysis of the corpus (both panels).
+
+Paper: #papers-per-name is a power law with slope ≈ −1.68 (3a) and
+co-author pair frequencies follow a much steeper power law with slope
+≈ −3.17 (3b).  We assert both distributions are heavy-tailed with good
+log-binned fits and that 3b is distinctly steeper than 3a.
+"""
+
+from repro.data.powerlaw import (
+    fit_power_law,
+    pair_frequency_distribution,
+    papers_per_name_distribution,
+)
+from repro.eval.reporting import render_fig3
+from repro.eval.experiments import run_fig3
+
+
+def test_fig3a_papers_per_name(benchmark, ctx):
+    histogram = benchmark.pedantic(
+        papers_per_name_distribution, args=(ctx.corpus,), rounds=1, iterations=1
+    )
+    fit = fit_power_law(histogram, log_binned=True)
+    assert -3.2 <= fit.slope <= -1.2, f"3a slope {fit.slope}"
+    assert fit.r_squared >= 0.85
+
+
+def test_fig3b_pair_frequency(benchmark, ctx):
+    histogram = benchmark.pedantic(
+        pair_frequency_distribution, args=(ctx.corpus,), rounds=1, iterations=1
+    )
+    fit = fit_power_law(histogram, log_binned=True)
+    assert -4.8 <= fit.slope <= -2.2, f"3b slope {fit.slope}"
+    assert fit.r_squared >= 0.85
+
+
+def test_fig3_joint_shape(benchmark, ctx):
+    result = benchmark.pedantic(run_fig3, args=(ctx.corpus,), rounds=1, iterations=1)
+    print("\n" + render_fig3(result))
+    assert result.pair_frequency.slope < result.papers_per_name.slope - 0.5

@@ -1,0 +1,39 @@
+"""Figure 5 — IUAD quality vs data scale.
+
+Paper: precision stays flat and high across 20–100 % of the data, recall
+climbs from ≈0.5 to >0.81 as the corpus grows (more data → better GCN).
+Shape facts: precision never collapses at small scale; recall and F at
+full scale beat the 20 % point.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_fig5
+from repro.eval.reporting import render_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(fractions=(0.2, 0.4, 0.6, 0.8, 1.0))
+
+
+def test_fig5_data_scale(benchmark, fig5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n" + render_fig5(fig5))
+    assert set(fig5) == {0.2, 0.4, 0.6, 0.8, 1.0}
+
+
+def test_precision_high_at_all_scales(benchmark, fig5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for fraction, counts in fig5.items():
+        assert counts.precision >= 0.55, f"precision collapsed at {fraction:.0%}"
+
+
+def test_recall_improves_with_scale(benchmark, fig5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert fig5[1.0].recall >= fig5[0.2].recall + 0.05
+
+
+def test_f1_improves_with_scale(benchmark, fig5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert fig5[1.0].f1 >= fig5[0.2].f1

@@ -1,0 +1,23 @@
+"""Table II — descriptive statistics of the testing dataset.
+
+Paper: 50 names, 336 distinct authors, 1,529 testing papers; per-name
+author counts range 2–17.  Our testing subset is built with the same
+protocol on the synthetic corpus and must match the profile.
+"""
+
+from repro.data.testing import render_table2
+from repro.eval.experiments import run_table2
+
+
+def test_table2_profile(benchmark, ctx):
+    result = benchmark.pedantic(
+        run_table2, args=(ctx.testing,), rounds=1, iterations=1
+    )
+    print("\n" + render_table2(result.rows[:10], (result.total_authors, result.total_papers)))
+    assert len(result.rows) == 50
+    author_counts = [row.num_authors for row in result.rows]
+    assert min(author_counts) >= 2
+    assert max(author_counts) <= 17
+    # hundreds of distinct authors overall, like the paper's 336
+    assert 100 <= result.total_authors <= 800
+    assert result.total_papers >= 500

@@ -1,0 +1,64 @@
+"""Table III — IUAD against the eight baselines.
+
+Paper's shape facts (MicroF): IUAD (0.8353) beats every baseline; the
+graph-only GHOST is far last (0.2690); ANON trails the content-aware
+methods.  Absolute numbers shift on the synthetic corpus — the ordering
+facts asserted here are the reproduction targets.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_table3
+from repro.eval.reporting import render_metrics_table
+
+
+@pytest.fixture(scope="module")
+def table3(ctx):
+    return run_table3(ctx, include_supervised=True)
+
+
+def test_table3_runs_all_methods(benchmark, ctx, table3):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n" + render_metrics_table(table3))
+    assert set(table3) == {
+        "IUAD",
+        "ANON",
+        "NetE",
+        "Aminer",
+        "GHOST",
+        "AdaBoost",
+        "GBDT",
+        "RF",
+        "XGBoost",
+    }
+
+
+def test_iuad_wins_microf(benchmark, table3):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    iuad_f = table3["IUAD"].f1
+    for method, counts in table3.items():
+        if method != "IUAD":
+            assert iuad_f >= counts.f1 - 1e-9, (
+                f"{method} MicroF {counts.f1:.4f} beats IUAD {iuad_f:.4f}"
+            )
+
+
+def test_iuad_beats_unsupervised_clearly(benchmark, table3):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for method in ("ANON", "NetE", "GHOST"):
+        assert table3["IUAD"].f1 > table3[method].f1 + 0.02
+
+
+def test_ghost_is_last(benchmark, table3):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ghost_f = table3["GHOST"].f1
+    others = [c.f1 for m, c in table3.items() if m not in ("GHOST", "ANON")]
+    assert all(ghost_f < f for f in others)
+
+
+def test_iuad_absolute_band(benchmark, table3):
+    """IUAD lands in the paper's quality region (MicroF ≈ 0.84)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    counts = table3["IUAD"]
+    assert counts.f1 >= 0.70
+    assert counts.accuracy >= 0.70

@@ -1,0 +1,45 @@
+"""Table VI — performance and efficiency of incremental disambiguation.
+
+Paper: streaming 100/200/300 newly published papers changes every metric
+by at most ≈1–2 points, at < 50 ms per paper.  Shape facts: small metric
+delta, fast per-paper cost, cost roughly flat in the stream size.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_table6
+from repro.eval.reporting import render_table6
+
+
+@pytest.fixture(scope="module")
+def table6(ctx):
+    return run_table6(ctx, stream_sizes=(100, 200, 300))
+
+
+def test_table6_rows(benchmark, table6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n" + render_table6(table6))
+    assert [row.n_new_papers for row in table6] == [100, 200, 300]
+
+
+def test_quality_holds_after_streaming(benchmark, table6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in table6:
+        assert row.after.f1 >= row.base.f1 - 0.05, (
+            f"streaming {row.n_new_papers} papers dropped MicroF by "
+            f"{row.base.f1 - row.after.f1:.3f}"
+        )
+
+
+def test_incremental_is_fast(benchmark, table6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # paper: < 50 ms per paper on the full 641k-paper DBLP; our corpus is
+    # two orders smaller, so the bound is comfortably loose
+    for row in table6:
+        assert row.avg_ms_per_paper < 100.0
+
+
+def test_cost_flat_in_stream_size(benchmark, table6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = [row.avg_ms_per_paper for row in table6]
+    assert max(times) <= 5.0 * min(times)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517 editable installs (``pip install -e .``) cannot build. This shim lets
+``python setup.py develop`` (and pip's legacy path) install the package from
+the metadata in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — reproduction of IUAD (ICDE 2021): incremental & unsupervised
+author disambiguation via bottom-up collaboration network reconstruction.
+
+Quickstart::
+
+    from repro.data import generate_corpus
+    from repro.core import IUAD
+
+    corpus = generate_corpus()
+    iuad = IUAD().fit(corpus)
+    clusters = iuad.clusters_of_name("Wei Wang")
+"""
+
+from .core import IUAD, IUADConfig, IncrementalDisambiguator, disambiguate
+from .data import Corpus, Paper, generate_corpus, generate_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "IUAD",
+    "IUADConfig",
+    "IncrementalDisambiguator",
+    "Paper",
+    "disambiguate",
+    "generate_corpus",
+    "generate_world",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""The eight Table III comparison systems (4 unsupervised + 4 supervised)."""
+
+from .aminer import Aminer
+from .anon import ANON
+from .common import (
+    N_PAIR_FEATURES,
+    PaperView,
+    clusters_from_labels,
+    pair_features,
+    pairwise_distance_matrix,
+    predict_all,
+    views_of_name,
+)
+from .ghost import GHOST
+from .nete import NetE
+from .supervised import SupervisedPairwise, make_classifier, training_pairs_from_names
+
+__all__ = [
+    "ANON",
+    "Aminer",
+    "GHOST",
+    "N_PAIR_FEATURES",
+    "NetE",
+    "PaperView",
+    "SupervisedPairwise",
+    "clusters_from_labels",
+    "make_classifier",
+    "pair_features",
+    "pairwise_distance_matrix",
+    "predict_all",
+    "training_pairs_from_names",
+    "views_of_name",
+]

@@ -1,0 +1,105 @@
+"""NetE baseline (Xu et al., CIKM 2018).
+
+"A network-embedding based method for author disambiguation": papers of a
+target name are embedded from *multiple* relation networks (co-author,
+co-venue, title similarity, co-organisation, citation — we build the three
+available in our record model), the per-relation embeddings are fused, and
+papers are clustered with HDBSCAN, falling back to Affinity Propagation for
+the points HDBSCAN leaves unresolved.
+
+The paper reports NetE as the strongest unsupervised baseline (MicroF
+0.7405), still below IUAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.records import Corpus
+from ..ml.cluster import AffinityPropagation, hdbscan_lite
+from .anon import spectral_embedding
+from .common import PaperView, clusters_from_labels, views_of_name
+
+
+def relation_graphs(views: list[PaperView]) -> list[np.ndarray]:
+    """The three relation networks NetE can build from our records.
+
+    1. co-author network: #shared co-author names;
+    2. venue network: same venue indicator;
+    3. keyword network: #shared title keywords.
+    """
+    n = len(views)
+    coauthor = np.zeros((n, n))
+    venue = np.zeros((n, n))
+    keyword = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            coauthor[i, j] = coauthor[j, i] = len(
+                views[i].coauthors & views[j].coauthors
+            )
+            if views[i].venue == views[j].venue:
+                venue[i, j] = venue[j, i] = 1.0
+            keyword[i, j] = keyword[j, i] = len(
+                views[i].keywords & views[j].keywords
+            )
+    return [coauthor, venue, keyword]
+
+
+@dataclass
+class NetE:
+    """NetE per-name clusterer: fused multi-relation embedding + HDBSCAN/AP."""
+
+    dim: int = 16
+    relation_weights: tuple[float, float, float] = (1.0, 0.3, 0.15)
+    min_cluster_size: int = 2
+    cut_quantile: float = 0.82
+    ap_damping: float = 0.7
+
+    def cluster_name(self, corpus: Corpus, name: str) -> dict[int, set[int]]:
+        views = views_of_name(corpus, name)
+        if not views:
+            return {}
+        if len(views) == 1:
+            return {0: {views[0].pid}}
+        graphs = relation_graphs(views)
+        embeddings = []
+        for graph, weight in zip(graphs, self.relation_weights):
+            if graph.sum() == 0.0:
+                continue
+            embeddings.append(weight * spectral_embedding(graph, self.dim))
+        pids = [v.pid for v in views]
+        if not embeddings:
+            # no relational evidence at all: everyone their own author
+            return clusters_from_labels(pids, range(len(pids)))
+        X = np.hstack(embeddings)
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        X = X / norms
+        D = np.maximum(1.0 - X @ X.T, 0.0)
+        np.fill_diagonal(D, 0.0)
+        labels = hdbscan_lite(
+            D,
+            min_cluster_size=self.min_cluster_size,
+            cut_quantile=self.cut_quantile,
+        )
+        labels = self._refine_noise(D, labels)
+        return clusters_from_labels(pids, labels)
+
+    def _refine_noise(self, D: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Re-cluster HDBSCAN's singleton fallout with Affinity Propagation.
+
+        NetE applies AP to the papers HDBSCAN could not group; we follow
+        suit for singleton labels when they form a sizeable residue.
+        """
+        counts = np.bincount(labels)
+        noise = np.nonzero(counts[labels] == 1)[0]
+        if noise.size < 3:
+            return labels
+        sub = -D[np.ix_(noise, noise)]
+        ap_labels = AffinityPropagation(damping=self.ap_damping).fit_predict(sub)
+        out = labels.copy()
+        offset = labels.max() + 1
+        out[noise] = offset + ap_labels
+        return out

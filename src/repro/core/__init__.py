@@ -1,0 +1,26 @@
+"""The paper's contribution: the two-stage IUAD pipeline + incremental mode."""
+
+from .balance import SplitResult, split_prolific_vertices
+from .candidates import (
+    candidate_pairs_of_name,
+    iter_candidate_pairs,
+    sample_training_pairs,
+)
+from .config import IUADConfig
+from .incremental import Assignment, IncrementalDisambiguator, IncrementalReport
+from .iuad import IUAD, FitReport, disambiguate
+
+__all__ = [
+    "Assignment",
+    "FitReport",
+    "IUAD",
+    "IUADConfig",
+    "IncrementalDisambiguator",
+    "IncrementalReport",
+    "SplitResult",
+    "candidate_pairs_of_name",
+    "disambiguate",
+    "iter_candidate_pairs",
+    "sample_training_pairs",
+    "split_prolific_vertices",
+]

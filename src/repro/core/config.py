@@ -1,0 +1,94 @@
+"""Configuration of the IUAD pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model.exponential_family import DEFAULT_FAMILIES
+
+
+@dataclass(slots=True)
+class IUADConfig:
+    """All knobs of Algorithm 1 in one place.
+
+    Attributes:
+        eta: Support threshold of η-stable collaborative relations
+            (Definition 2; η = 2 throughout the paper's examples).
+        delta: Decision threshold δ on the Eq. 11 matching score for the
+            *first* merge round; pairs scoring at or above it are merged.
+            Batch merging is transitive (union-find), which amplifies
+            single-pair errors, so the default is calibrated well above the
+            natural posterior-odds point.
+        later_delta: Threshold for merge rounds after the first.  Round-two
+            vertices are consolidated clusters carrying much more
+            venue/keyword evidence, so a lower bar is safe there and buys
+            the recall the first strict round withheld.
+        incremental_delta: Threshold for the *single-paper* incremental
+            decision (Section V-E).  Attaching one new mention is an
+            argmax-plus-threshold choice with no transitive amplification,
+            and a one-paper probe carries far less evidence mass, so the
+            natural odds threshold (0 = posterior odds 1:1) is the default.
+        merge_rounds: Number of score-and-merge passes in Stage 2.  The
+            default single pass is the paper's Algorithm 1.  A second pass
+            re-scores on the merged network, where vertices carry richer
+            venue/keyword profiles, letting one-paper vertices attach to the
+            consolidated clusters they could not match in round one — it
+            buys extra recall at some precision (ablation
+            ``test_ablations.py`` quantifies the trade).
+        wl_iterations: ``h`` of the WL sub-graph kernel (Eq. 3).
+        decay_alpha: α of the time-consistency similarity (Eq. 7; 0.62 in
+            the paper, borrowed from FutureRank).
+        sample_rate: Fraction of candidate pairs used to *train* the
+            generative model (Section V-F: 10 %); all pairs are still scored
+            for the merge decision.
+        min_training_pairs: Train on at least this many pairs even when 10 %
+            of the candidates is fewer.
+        balance_split: Enable the vertex-splitting rebalance strategy
+            (Section V-F2).
+        split_min_papers: Minimum papers a vertex needs to be splittable.
+        max_split_vertices: Cap on how many vertices are split for balance.
+        families: Exponential-family assignment per similarity function.
+        use_embeddings: Train PPMI-SVD title embeddings for γ3 (falls back
+            to keyword-multiset cosine when off or when the corpus is too
+            small to train on).
+        embedding_dim: Dimensionality of the title embeddings.
+        certify_triangles: Stage-1 triangle certification (ablation switch).
+        require_triangle_instance: Require a co-occurring paper for each
+            certifying triangle (see :class:`repro.graphs.scn.SCNBuilder`).
+        em_max_iterations: EM iteration cap.
+        em_tolerance: EM convergence tolerance on the log-likelihood.
+        seed: Seed for candidate sampling and vertex splitting.
+    """
+
+    eta: int = 2
+    delta: float = 80.0
+    later_delta: float = 80.0
+    incremental_delta: float = 0.0
+    merge_rounds: int = 1
+    wl_iterations: int = 2
+    decay_alpha: float = 0.62
+    sample_rate: float = 0.10
+    min_training_pairs: int = 200
+    balance_split: bool = True
+    split_min_papers: int = 6
+    max_split_vertices: int = 400
+    families: tuple[str, ...] = field(default=DEFAULT_FAMILIES)
+    use_embeddings: bool = True
+    embedding_dim: int = 64
+    certify_triangles: bool = True
+    require_triangle_instance: bool = True
+    em_max_iterations: int = 200
+    em_tolerance: float = 1e-6
+    seed: int = 29
+
+    def __post_init__(self) -> None:
+        if self.eta < 1:
+            raise ValueError(f"eta must be >= 1, got {self.eta}")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {self.sample_rate}"
+            )
+        if len(self.families) != 6:
+            raise ValueError("families must assign one family per γ1..γ6")
+        if self.split_min_papers < 2:
+            raise ValueError("split_min_papers must be >= 2")

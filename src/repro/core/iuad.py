@@ -1,0 +1,307 @@
+"""IUAD — the full Algorithm 1 pipeline.
+
+Stage 1 builds the stable collaboration network (high precision); Stage 2
+learns the matched/unmatched mixture on a 10 % candidate sample (balanced
+by vertex splitting), scores every same-name vertex pair with Eq. 11, and
+merges pairs clearing δ into the global collaboration network.  After
+fitting, newly published papers are disambiguated incrementally (see
+:mod:`repro.core.incremental`) without retraining.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..data.records import Corpus
+from ..graphs.collab import CollaborationNetwork
+from ..graphs.scn import SCNBuilder, SCNBuildReport
+from ..graphs.unionfind import UnionFind
+from ..model.mixture import EMReport, MatchMixture
+from ..model.scoring import match_scores
+from ..similarity.profile import SimilarityComputer
+from ..text.embeddings import WordEmbeddings, train_title_embeddings
+from .balance import split_prolific_vertices
+from .candidates import candidate_pairs_of_name, sample_training_pairs
+from .config import IUADConfig
+
+Pair = tuple[int, int]
+
+
+@dataclass(slots=True)
+class FitReport:
+    """Everything a run of Algorithm 1 learned about itself."""
+
+    scn: SCNBuildReport
+    em: EMReport
+    n_candidate_pairs: int
+    n_training_pairs: int
+    n_split_pairs: int
+    n_merges: int
+    gcn_vertices: int
+    gcn_edges: int
+    stage1_seconds: float
+    stage2_seconds: float
+    per_name_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class IUAD:
+    """Incremental & Unsupervised Author Disambiguation.
+
+    Typical use::
+
+        iuad = IUAD()
+        iuad.fit(corpus)
+        clusters = iuad.clusters_of_name("Wei Wang")   # vid -> paper ids
+        # stream new papers without retraining:
+        from repro.core.incremental import IncrementalDisambiguator
+        inc = IncrementalDisambiguator(iuad)
+        inc.add_paper(new_paper)
+
+    After :meth:`fit`, the fitted state lives in ``scn_``, ``gcn_``,
+    ``model_``, ``computer_`` and ``report_``.
+    """
+
+    def __init__(self, config: IUADConfig | None = None):
+        self.config = config or IUADConfig()
+        self.corpus_: Corpus | None = None
+        self.scn_: CollaborationNetwork | None = None
+        self.gcn_: CollaborationNetwork | None = None
+        self.model_: MatchMixture | None = None
+        self.computer_: SimilarityComputer | None = None
+        self.embeddings_: WordEmbeddings | None = None
+        self.report_: FitReport | None = None
+
+    # ------------------------------------------------------------------ #
+    # Stage 1 + Stage 2
+    # ------------------------------------------------------------------ #
+    def fit(self, corpus: Corpus, names: Iterable[str] | None = None) -> "IUAD":
+        """Run Algorithm 1 on ``corpus``.
+
+        Args:
+            corpus: The paper database.
+            names: Optional restriction of the Stage-2 merge decisions to a
+                subset of names (the model is still trained on candidates
+                from every name).  ``None`` processes all names.
+        """
+        cfg = self.config
+        t0 = time.perf_counter()
+        scn, scn_report = SCNBuilder(
+            corpus,
+            cfg.eta,
+            cfg.certify_triangles,
+            cfg.require_triangle_instance,
+        ).build()
+        stage1 = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        self.embeddings_ = self._train_embeddings(corpus)
+        computer = SimilarityComputer(
+            scn,
+            corpus,
+            embeddings=self.embeddings_,
+            wl_iterations=cfg.wl_iterations,
+            decay_alpha=cfg.decay_alpha,
+        )
+        model, em_report, n_train, n_split = self._learn_model(
+            scn, corpus, computer
+        )
+
+        decision_names = list(corpus.names if names is None else names)
+        gcn = scn
+        n_pairs = 0
+        n_merges = 0
+        per_name: dict[str, float] = {}
+        for round_index in range(cfg.merge_rounds):
+            round_computer = (
+                computer
+                if round_index == 0
+                else SimilarityComputer(
+                    gcn,
+                    corpus,
+                    embeddings=self.embeddings_,
+                    wl_iterations=cfg.wl_iterations,
+                    decay_alpha=cfg.decay_alpha,
+                )
+            )
+            round_delta = cfg.delta if round_index == 0 else cfg.later_delta
+            union = UnionFind(v.vid for v in gcn)
+            round_merges = 0
+            for name in decision_names:
+                tn = time.perf_counter()
+                pairs = candidate_pairs_of_name(gcn, name)
+                if not pairs:
+                    per_name[name] = per_name.get(name, 0.0) + (
+                        time.perf_counter() - tn
+                    )
+                    continue
+                n_pairs += len(pairs)
+                gammas = round_computer.pair_matrix(pairs)
+                scores = match_scores(model, gammas)
+                for (u, v), score in zip(pairs, scores):
+                    if score >= round_delta:
+                        union.union(u, v)
+                        round_merges += 1
+                per_name[name] = per_name.get(name, 0.0) + (
+                    time.perf_counter() - tn
+                )
+            n_merges += round_merges
+            gcn = gcn.merged(union)
+            if round_merges == 0:
+                break
+        self._recover_relations(gcn, corpus)
+        stage2 = time.perf_counter() - t1
+
+        self.corpus_ = corpus
+        self.scn_ = scn
+        self.gcn_ = gcn
+        self.model_ = model
+        self.computer_ = SimilarityComputer(
+            gcn,
+            corpus,
+            embeddings=self.embeddings_,
+            wl_iterations=cfg.wl_iterations,
+            decay_alpha=cfg.decay_alpha,
+        )
+        self.report_ = FitReport(
+            scn=scn_report,
+            em=em_report,
+            n_candidate_pairs=n_pairs,
+            n_training_pairs=n_train,
+            n_split_pairs=n_split,
+            n_merges=n_merges,
+            gcn_vertices=len(gcn),
+            gcn_edges=gcn.n_edges,
+            stage1_seconds=stage1,
+            stage2_seconds=stage2,
+            per_name_seconds=per_name,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _train_embeddings(self, corpus: Corpus) -> WordEmbeddings | None:
+        if not self.config.use_embeddings:
+            return None
+        try:
+            return train_title_embeddings(
+                (p.title for p in corpus), dim=self.config.embedding_dim
+            )
+        except ValueError:
+            # Corpus too small to train on; γ3 falls back to multiset cosine.
+            return None
+
+    def _learn_model(
+        self,
+        scn: CollaborationNetwork,
+        corpus: Corpus,
+        computer: SimilarityComputer,
+    ) -> tuple[MatchMixture, EMReport, int, int]:
+        """Train the mixture on sampled candidates + split-balance pairs."""
+        cfg = self.config
+        all_pairs: list[Pair] = []
+        for name in scn.names:
+            all_pairs.extend(candidate_pairs_of_name(scn, name))
+        training = sample_training_pairs(
+            all_pairs, cfg.sample_rate, cfg.min_training_pairs, cfg.seed
+        )
+        gammas = [computer.pair_matrix(training)] if training else []
+        seeds: list[np.ndarray] = []
+        n_split = 0
+        if cfg.balance_split:
+            split = split_prolific_vertices(
+                scn,
+                min_papers=cfg.split_min_papers,
+                max_vertices=cfg.max_split_vertices,
+                seed=cfg.seed,
+            )
+            if split.matched_pairs:
+                split_computer = SimilarityComputer(
+                    split.network,
+                    corpus,
+                    embeddings=self.embeddings_,
+                    wl_iterations=cfg.wl_iterations,
+                    decay_alpha=cfg.decay_alpha,
+                )
+                gammas.append(split_computer.pair_matrix(split.matched_pairs))
+                n_split = len(split.matched_pairs)
+        if not gammas:
+            raise ValueError(
+                "no candidate pairs to train on — every name has a single "
+                "vertex (is the corpus trivially unambiguous?)"
+            )
+        stacked = np.vstack(gammas)
+        if training:
+            seeds.append(np.full(len(training), 0.1))
+        if n_split:
+            seeds.append(np.full(n_split, 0.95))
+        model = MatchMixture(cfg.families)
+        em_report = model.fit(
+            stacked,
+            max_iterations=cfg.em_max_iterations,
+            tolerance=cfg.em_tolerance,
+            initial_responsibilities=np.concatenate(seeds),
+        )
+        return model, em_report, len(training), n_split
+
+    @staticmethod
+    def _recover_relations(gcn: CollaborationNetwork, corpus: Corpus) -> None:
+        """Algorithm 1 line 16: add back the non-stable co-author edges.
+
+        Every paper's co-author list induces edges between the vertices that
+        own its mentions; Stage 1 materialised only the stable ones, the
+        rest are recovered here so the GCN is the *complete* collaboration
+        network of Definition 1.
+        """
+        owner: dict[tuple[str, int], int] = {}
+        for vertex in gcn:
+            for pid in vertex.papers:
+                owner[(vertex.name, pid)] = vertex.vid
+        for paper in corpus:
+            vids = [
+                owner[(name, paper.pid)]
+                for name in paper.authors
+                if (name, paper.pid) in owner
+            ]
+            for i, u in enumerate(vids):
+                for v in vids[i + 1 :]:
+                    if u != v and not (
+                        paper.pid in gcn.edge_papers(u, v)
+                    ):
+                        gcn.add_edge(u, v, (paper.pid,))
+
+    # ------------------------------------------------------------------ #
+    # fitted-state accessors
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if self.gcn_ is None:
+            raise RuntimeError("IUAD is not fitted; call fit() first")
+
+    def clusters_of_name(self, name: str) -> dict[int, set[int]]:
+        """Predicted clustering of ``name``'s papers (vertex -> paper ids)."""
+        self._require_fitted()
+        assert self.gcn_ is not None
+        return self.gcn_.clusters_of_name(name)
+
+    def scn_clusters_of_name(self, name: str) -> dict[int, set[int]]:
+        """Stage-1-only clustering (for the Table IV stage ablation)."""
+        if self.scn_ is None:
+            raise RuntimeError("IUAD is not fitted; call fit() first")
+        return self.scn_.clusters_of_name(name)
+
+    def score_pairs(self, pairs: Sequence[Pair]) -> np.ndarray:
+        """Eq. 11 scores of arbitrary GCN vertex pairs."""
+        self._require_fitted()
+        assert self.computer_ is not None and self.model_ is not None
+        return match_scores(self.model_, self.computer_.pair_matrix(pairs))
+
+
+def disambiguate(
+    corpus: Corpus,
+    config: IUADConfig | None = None,
+    names: Iterable[str] | None = None,
+) -> IUAD:
+    """One-call convenience: fit IUAD on ``corpus`` and return it."""
+    return IUAD(config).fit(corpus, names=names)

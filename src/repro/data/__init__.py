@@ -1,0 +1,64 @@
+"""Data substrate: records, synthetic DBLP generator, real-dump parser.
+
+Public entry points:
+
+* :class:`~repro.data.records.Paper`, :class:`~repro.data.records.Corpus` —
+  the record model every other subsystem consumes;
+* :func:`~repro.data.synthetic.generate_corpus` /
+  :func:`~repro.data.synthetic.generate_world` — calibrated synthetic DBLP
+  with exact ground truth;
+* :func:`~repro.data.dblp.load_dblp_xml` — streaming parser for the real
+  DBLP dump;
+* :func:`~repro.data.testing.build_testing_dataset` — Table-II-style
+  labelled evaluation subset;
+* :mod:`~repro.data.powerlaw` — Figure 3 descriptive analysis.
+"""
+
+from .dblp import load_dblp_xml
+from .powerlaw import (
+    PowerLawFit,
+    fit_power_law,
+    frequency_histogram,
+    pair_frequency_distribution,
+    papers_per_name_distribution,
+)
+from .records import AuthorRef, Corpus, CorpusStats, Paper
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticDBLP,
+    SyntheticWorld,
+    ambiguous_names,
+    generate_corpus,
+    generate_world,
+)
+from .testing import (
+    NameStats,
+    TestingDataset,
+    build_testing_dataset,
+    render_table2,
+    split_for_incremental,
+)
+
+__all__ = [
+    "AuthorRef",
+    "Corpus",
+    "CorpusStats",
+    "NameStats",
+    "Paper",
+    "PowerLawFit",
+    "SyntheticConfig",
+    "SyntheticDBLP",
+    "SyntheticWorld",
+    "TestingDataset",
+    "ambiguous_names",
+    "build_testing_dataset",
+    "fit_power_law",
+    "frequency_histogram",
+    "generate_corpus",
+    "generate_world",
+    "load_dblp_xml",
+    "pair_frequency_distribution",
+    "papers_per_name_distribution",
+    "render_table2",
+    "split_for_incremental",
+]

@@ -1,0 +1,405 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver returns plain data (dataclasses/dicts) so that benches,
+examples and the EXPERIMENTS.md generator all share one implementation.
+
+=============  =======================================  ==================
+Paper exhibit  What it shows                            Driver
+=============  =======================================  ==================
+Figure 3       power laws of the corpus                 :func:`run_fig3`
+Table II       testing-dataset descriptives             :func:`run_table2`
+Table III      IUAD vs 8 baselines                      :func:`run_table3`
+Table IV       stage ablation (SCN vs GCN)              :func:`run_table4`
+Table V        per-name time vs data scale              :func:`run_table5`
+Figure 5       IUAD quality vs data scale               :func:`run_fig5`
+Table VI       incremental disambiguation               :func:`run_table6`
+Figure 6       single-similarity threshold sweeps       :func:`run_fig6`
+=============  =======================================  ==================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..baselines import ANON, GHOST, Aminer, NetE, SupervisedPairwise, predict_all
+from ..core import IUAD, IUADConfig, IncrementalDisambiguator
+from ..core.candidates import candidate_pairs_of_name
+from ..data.powerlaw import (
+    PowerLawFit,
+    fit_power_law,
+    pair_frequency_distribution,
+    papers_per_name_distribution,
+)
+from ..data.records import Corpus
+from ..data.synthetic import SyntheticConfig, SyntheticDBLP, ambiguous_names
+from ..data.testing import (
+    NameStats,
+    TestingDataset,
+    build_testing_dataset,
+    per_name_truth,
+    split_for_incremental,
+)
+from ..graphs.unionfind import UnionFind
+from ..model.mixture import MatchMixture
+from ..model.scoring import match_scores
+from ..similarity import SIMILARITY_NAMES, SimilarityComputer
+from .metrics import PairwiseCounts, micro_metrics
+from .timing import TimingResult, time_iuad, time_per_name
+
+
+@dataclass(slots=True)
+class ExperimentContext:
+    """Everything the drivers need: corpus, testing subset, ground truth."""
+
+    corpus: Corpus
+    testing: TestingDataset
+    truth: Mapping[str, dict[int, int]]
+    train_names: list[str] = field(default_factory=list)
+
+
+def make_context(
+    scale: float = 1.0,
+    n_names: int = 50,
+    seed: int = 7,
+    config: SyntheticConfig | None = None,
+) -> ExperimentContext:
+    """Build the standard experiment context on a synthetic corpus.
+
+    Args:
+        scale: Fraction of the generated corpus to keep (Figure 5 /
+            Table V sweep this).
+        n_names: Number of testing names (50 in the paper).
+        seed: Generator seed.
+        config: Full generator config override.
+    """
+    cfg = config or SyntheticConfig(seed=seed)
+    corpus = SyntheticDBLP(cfg).generate()
+    if scale < 1.0:
+        corpus = corpus.subset(scale, seed=seed)
+    testing = build_testing_dataset(corpus, n_names=n_names)
+    truth = per_name_truth(testing)
+    chosen = set(testing.names)
+    train_names = [n for n in ambiguous_names(corpus) if n not in chosen][:60]
+    return ExperimentContext(
+        corpus=corpus, testing=testing, truth=truth, train_names=train_names
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 3 — descriptive power laws
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class Fig3Result:
+    papers_per_name: PowerLawFit
+    pair_frequency: PowerLawFit
+
+
+def run_fig3(corpus: Corpus) -> Fig3Result:
+    """Figure 3: log-binned power-law fits of the two distributions."""
+    return Fig3Result(
+        papers_per_name=fit_power_law(
+            papers_per_name_distribution(corpus), log_binned=True
+        ),
+        pair_frequency=fit_power_law(
+            pair_frequency_distribution(corpus), log_binned=True
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table II — testing-dataset descriptives
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class Table2Result:
+    rows: list[NameStats]
+    total_authors: int
+    total_papers: int
+
+
+def run_table2(testing: TestingDataset) -> Table2Result:
+    rows = testing.stats()
+    total_authors, total_papers = testing.totals()
+    return Table2Result(rows, total_authors, total_papers)
+
+
+# --------------------------------------------------------------------- #
+# Table III — IUAD vs baselines
+# --------------------------------------------------------------------- #
+def run_table3(
+    ctx: ExperimentContext,
+    include_supervised: bool = True,
+    iuad_config: IUADConfig | None = None,
+) -> dict[str, PairwiseCounts]:
+    """Table III: micro metrics of every method on the testing names."""
+    results: dict[str, PairwiseCounts] = {}
+    names = ctx.testing.names
+
+    iuad = IUAD(iuad_config or IUADConfig()).fit(ctx.corpus, names=names)
+    results["IUAD"] = micro_metrics(
+        {n: iuad.clusters_of_name(n) for n in names}, ctx.truth
+    )
+    for label, method in (
+        ("ANON", ANON()),
+        ("NetE", NetE()),
+        ("Aminer", Aminer()),
+        ("GHOST", GHOST()),
+    ):
+        results[label] = micro_metrics(
+            predict_all(method, ctx.corpus, names), ctx.truth
+        )
+    if include_supervised:
+        for kind, label in (
+            ("adaboost", "AdaBoost"),
+            ("gbdt", "GBDT"),
+            ("rf", "RF"),
+            ("xgboost", "XGBoost"),
+        ):
+            model = SupervisedPairwise(kind).fit_names(ctx.corpus, ctx.train_names)
+            results[label] = micro_metrics(
+                predict_all(model, ctx.corpus, names), ctx.truth
+            )
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Table IV — stage ablation
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class Table4Result:
+    scn: PairwiseCounts
+    gcn: PairwiseCounts
+
+    @property
+    def improvements(self) -> tuple[float, float, float, float]:
+        """(ΔMicroA, ΔMicroP, ΔMicroR, ΔMicroF) from SCN to GCN."""
+        s, g = self.scn.as_row(), self.gcn.as_row()
+        return tuple(gv - sv for sv, gv in zip(s, g))  # type: ignore[return-value]
+
+
+def run_table4(
+    ctx: ExperimentContext, iuad_config: IUADConfig | None = None
+) -> Table4Result:
+    names = ctx.testing.names
+    iuad = IUAD(iuad_config or IUADConfig()).fit(ctx.corpus, names=names)
+    scn = micro_metrics(
+        {n: iuad.scn_clusters_of_name(n) for n in names}, ctx.truth
+    )
+    gcn = micro_metrics(
+        {n: iuad.clusters_of_name(n) for n in names}, ctx.truth
+    )
+    return Table4Result(scn=scn, gcn=gcn)
+
+
+# --------------------------------------------------------------------- #
+# Table V — per-name time vs data scale
+# --------------------------------------------------------------------- #
+def run_table5(
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    n_names: int = 12,
+    seed: int = 7,
+    config: SyntheticConfig | None = None,
+) -> dict[str, dict[float, TimingResult]]:
+    """Table V: average per-name seconds for each unsupervised method."""
+    out: dict[str, dict[float, TimingResult]] = {}
+    base = SyntheticDBLP(config or SyntheticConfig(seed=seed)).generate()
+    for fraction in fractions:
+        corpus = base.subset(fraction, seed=seed) if fraction < 1.0 else base
+        testing = build_testing_dataset(corpus, n_names=n_names)
+        names = testing.names
+        for label, method in (
+            ("ANON", ANON()),
+            ("NetE", NetE()),
+            ("Aminer", Aminer()),
+            ("GHOST", GHOST()),
+        ):
+            result = time_per_name(
+                label, method.cluster_name, corpus, names, fraction
+            )
+            out.setdefault(label, {})[fraction] = result
+        out.setdefault("IUAD", {})[fraction] = time_iuad(
+            lambda: IUAD(IUADConfig()), corpus, names, fraction
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Figure 5 — IUAD quality vs data scale
+# --------------------------------------------------------------------- #
+def run_fig5(
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    n_names: int = 50,
+    seed: int = 7,
+    config: SyntheticConfig | None = None,
+) -> dict[float, PairwiseCounts]:
+    """Figure 5: IUAD micro metrics at increasing data scale.
+
+    Testing names are selected on the full corpus and evaluated on each
+    subsample's papers, so the curves are comparable across fractions.
+    """
+    base = SyntheticDBLP(config or SyntheticConfig(seed=seed)).generate()
+    full_testing = build_testing_dataset(base, n_names=n_names)
+    out: dict[float, PairwiseCounts] = {}
+    for fraction in fractions:
+        corpus = base.subset(fraction, seed=seed) if fraction < 1.0 else base
+        names = [n for n in full_testing.names if corpus.papers_of_name(n)]
+        truth = {
+            name: {
+                pid: corpus[pid].author_id_of(name)
+                for pid in corpus.papers_of_name(name)
+            }
+            for name in names
+        }
+        iuad = IUAD(IUADConfig()).fit(corpus, names=names)
+        out[fraction] = micro_metrics(
+            {n: iuad.clusters_of_name(n) for n in names}, truth
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Table VI — incremental disambiguation
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class Table6Row:
+    n_new_papers: int
+    base: PairwiseCounts       # metrics on part 1 (before streaming)
+    after: PairwiseCounts      # metrics on everything (after streaming)
+    avg_ms_per_paper: float
+
+
+def run_table6(
+    ctx: ExperimentContext,
+    stream_sizes: Sequence[int] = (100, 200, 300),
+    iuad_config: IUADConfig | None = None,
+) -> list[Table6Row]:
+    """Table VI: stream N held-out papers through the incremental mode."""
+    rows: list[Table6Row] = []
+    names = ctx.testing.names
+    for n_new in stream_sizes:
+        base_pids, new_pids = split_for_incremental(ctx.testing, n_new)
+        new_set = set(new_pids)
+        base_corpus = Corpus(p for p in ctx.corpus if p.pid not in new_set)
+        iuad = IUAD(iuad_config or IUADConfig()).fit(base_corpus, names=names)
+        base_truth = {
+            n: {pid: a for pid, a in t.items() if pid not in new_set}
+            for n, t in ctx.truth.items()
+        }
+        base_metrics = micro_metrics(
+            {n: iuad.clusters_of_name(n) for n in names}, base_truth
+        )
+        inc = IncrementalDisambiguator(iuad)
+        for pid in new_pids:
+            inc.add_paper(ctx.corpus[pid])
+        after_metrics = micro_metrics(
+            {n: iuad.clusters_of_name(n) for n in names}, ctx.truth
+        )
+        rows.append(
+            Table6Row(
+                n_new_papers=n_new,
+                base=base_metrics,
+                after=after_metrics,
+                avg_ms_per_paper=inc.report.avg_ms_per_paper,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 6 — rationality of the similarity functions
+# --------------------------------------------------------------------- #
+def run_fig6(
+    ctx: ExperimentContext,
+    thresholds: Sequence[float] = (-20.0, -5.0, 0.0, 5.0, 20.0, 60.0, 150.0),
+    iuad_config: IUADConfig | None = None,
+) -> dict[str, dict[float, PairwiseCounts]]:
+    """Figure 6: GCN quality using each similarity function *alone*.
+
+    For each γᵢ a single-feature mixture is trained on the same candidate
+    sample, scores are swept over ``thresholds``, and the resulting GCN is
+    evaluated — six panels of four curves, as in the paper.
+    """
+    cfg = iuad_config or IUADConfig(merge_rounds=1)
+    names = ctx.testing.names
+    iuad = IUAD(cfg).fit(ctx.corpus, names=names)
+    scn = iuad.scn_
+    assert scn is not None
+    computer = SimilarityComputer(
+        scn,
+        ctx.corpus,
+        embeddings=iuad.embeddings_,
+        wl_iterations=cfg.wl_iterations,
+        decay_alpha=cfg.decay_alpha,
+    )
+    # all candidate gammas per testing name, computed once
+    per_name_pairs: dict[str, list[tuple[int, int]]] = {}
+    per_name_gammas: dict[str, np.ndarray] = {}
+    for name in names:
+        pairs = candidate_pairs_of_name(scn, name)
+        per_name_pairs[name] = pairs
+        if pairs:
+            per_name_gammas[name] = computer.pair_matrix(pairs)
+    training = (
+        np.vstack([g for g in per_name_gammas.values()])
+        if per_name_gammas
+        else np.zeros((0, 6))
+    )
+
+    out: dict[str, dict[float, PairwiseCounts]] = {}
+    for i, sim_name in enumerate(SIMILARITY_NAMES):
+        family = (cfg.families[i],)
+        model = MatchMixture(family)
+        model.fit(training[:, [i]])
+        sweep: dict[float, PairwiseCounts] = {}
+        for threshold in thresholds:
+            union = UnionFind(v.vid for v in scn)
+            for name in names:
+                pairs = per_name_pairs[name]
+                if not pairs:
+                    continue
+                scores = match_scores(model, per_name_gammas[name][:, [i]])
+                for (u, v), score in zip(pairs, scores):
+                    if score >= threshold:
+                        union.union(u, v)
+            merged = scn.merged(union)
+            sweep[threshold] = micro_metrics(
+                {n: merged.clusters_of_name(n) for n in names}, ctx.truth
+            )
+        out[sim_name] = sweep
+    return out
+
+
+# --------------------------------------------------------------------- #
+# one-call full run (EXPERIMENTS.md generator uses this)
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class FullRun:
+    fig3: Fig3Result
+    table2: Table2Result
+    table3: dict[str, PairwiseCounts]
+    table4: Table4Result
+    table5: dict[str, dict[float, TimingResult]]
+    fig5: dict[float, PairwiseCounts]
+    table6: list[Table6Row]
+    fig6: dict[str, dict[float, PairwiseCounts]]
+    seconds: float
+
+
+def run_everything(seed: int = 7) -> FullRun:
+    """Run every experiment on the default synthetic corpus."""
+    t0 = time.perf_counter()
+    ctx = make_context(seed=seed)
+    return FullRun(
+        fig3=run_fig3(ctx.corpus),
+        table2=run_table2(ctx.testing),
+        table3=run_table3(ctx),
+        table4=run_table4(ctx),
+        table5=run_table5(seed=seed),
+        fig5=run_fig5(seed=seed),
+        table6=run_table6(ctx),
+        fig6=run_fig6(ctx),
+        seconds=time.perf_counter() - t0,
+    )

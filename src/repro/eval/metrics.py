@@ -1,0 +1,124 @@
+"""Pairwise micro metrics (Section VI-A2).
+
+Performance is measured over *paper pairs*: TP counts pairs correctly
+predicted to share an author, FP pairs incorrectly predicted to share one,
+FN pairs incorrectly split, TN pairs correctly split.  Counts are summed
+over all evaluated names before the ratios are taken (micro-averaging), so
+prolific names do not drown the rest.
+
+Counting uses the contingency-table identity — for cluster sizes the number
+of same-cluster pairs is ``Σ C(n, 2)`` — so evaluation is linear in the
+number of papers, not quadratic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+def _choose2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+@dataclass(slots=True)
+class PairwiseCounts:
+    """TP/FP/FN/TN over paper pairs, with the four micro ratios."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    def __add__(self, other: "PairwiseCounts") -> "PairwiseCounts":
+        return PairwiseCounts(
+            self.tp + other.tp,
+            self.fp + other.fp,
+            self.fn + other.fn,
+            self.tn + other.tn,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def accuracy(self) -> float:
+        """MicroA = (TP + TN) / all pairs."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """MicroP = TP / (TP + FP)."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """MicroR = TP / (TP + FN)."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        """MicroF = harmonic mean of MicroP and MicroR."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0.0 else 0.0
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """(MicroA, MicroP, MicroR, MicroF) — one Table III row."""
+        return (self.accuracy, self.precision, self.recall, self.f1)
+
+
+def pairwise_counts(
+    predicted: Mapping[int, Iterable[int]],
+    truth: Mapping[int, int],
+) -> PairwiseCounts:
+    """Pair counts for one name.
+
+    Args:
+        predicted: Predicted clustering — cluster id -> paper ids.  Papers
+            outside ``truth`` are ignored; papers in ``truth`` but missing
+            from ``predicted`` count as singletons (the method abstained).
+        truth: Ground truth — paper id -> author id.
+    """
+    pred_of: dict[int, object] = {}
+    for cluster_id, pids in predicted.items():
+        for pid in pids:
+            if pid in truth:
+                pred_of[pid] = cluster_id
+    singleton = 0
+    for pid in truth:
+        if pid not in pred_of:
+            pred_of[pid] = ("singleton", singleton)
+            singleton += 1
+
+    joint: Counter[tuple[object, int]] = Counter()
+    pred_sizes: Counter[object] = Counter()
+    true_sizes: Counter[int] = Counter()
+    for pid, author in truth.items():
+        cluster = pred_of[pid]
+        joint[(cluster, author)] += 1
+        pred_sizes[cluster] += 1
+        true_sizes[author] += 1
+
+    tp = sum(_choose2(n) for n in joint.values())
+    predicted_same = sum(_choose2(n) for n in pred_sizes.values())
+    true_same = sum(_choose2(n) for n in true_sizes.values())
+    all_pairs = _choose2(len(truth))
+    fp = predicted_same - tp
+    fn = true_same - tp
+    tn = all_pairs - tp - fp - fn
+    return PairwiseCounts(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def micro_metrics(
+    per_name_predicted: Mapping[str, Mapping[int, Iterable[int]]],
+    per_name_truth: Mapping[str, Mapping[int, int]],
+) -> PairwiseCounts:
+    """Micro-averaged counts over many names (the Table III protocol)."""
+    total = PairwiseCounts()
+    for name, truth in per_name_truth.items():
+        total = total + pairwise_counts(per_name_predicted.get(name, {}), truth)
+    return total

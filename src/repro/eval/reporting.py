@@ -1,0 +1,114 @@
+"""Text rendering of experiment results (terminal tables + EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .experiments import Fig3Result, FullRun, Table4Result, Table6Row
+from .metrics import PairwiseCounts
+from .timing import TimingResult
+
+_METRIC_HEADER = f"{'Method':<12}{'MicroA':>9}{'MicroP':>9}{'MicroR':>9}{'MicroF':>9}"
+
+
+def render_metrics_table(results: Mapping[str, PairwiseCounts]) -> str:
+    """Table III-style text table."""
+    lines = [_METRIC_HEADER]
+    for method, counts in results.items():
+        a, p, r, f = counts.as_row()
+        lines.append(f"{method:<12}{a:>9.4f}{p:>9.4f}{r:>9.4f}{f:>9.4f}")
+    return "\n".join(lines)
+
+
+def render_fig3(result: Fig3Result) -> str:
+    return (
+        f"Fig 3a  papers-per-name   slope={result.papers_per_name.slope:+.2f} "
+        f"(r²={result.papers_per_name.r_squared:.2f}; paper ≈ -1.68)\n"
+        f"Fig 3b  pair frequencies  slope={result.pair_frequency.slope:+.2f} "
+        f"(r²={result.pair_frequency.r_squared:.2f}; paper ≈ -3.17)"
+    )
+
+
+def render_table4(result: Table4Result) -> str:
+    s, g = result.scn.as_row(), result.gcn.as_row()
+    d = result.improvements
+    lines = [f"{'Metric':<8}{'SCN':>9}{'GCN':>9}{'Improv.':>9}"]
+    for name, sv, gv, dv in zip(("MicroA", "MicroP", "MicroR", "MicroF"), s, g, d):
+        lines.append(f"{name:<8}{sv:>9.4f}{gv:>9.4f}{dv:>+9.4f}")
+    return "\n".join(lines)
+
+
+def render_table5(
+    results: Mapping[str, Mapping[float, TimingResult]],
+) -> str:
+    fractions = sorted(next(iter(results.values())).keys())
+    header = f"{'Method':<10}" + "".join(f"{int(f * 100):>9}%" for f in fractions)
+    lines = [header]
+    for method, per_fraction in results.items():
+        cells = "".join(
+            f"{per_fraction[f].avg_seconds_per_name:>10.3f}" for f in fractions
+        )
+        lines.append(f"{method:<10}{cells}")
+    return "\n".join(lines)
+
+
+def render_fig5(results: Mapping[float, PairwiseCounts]) -> str:
+    lines = [f"{'Scale':<8}{'MicroA':>9}{'MicroP':>9}{'MicroR':>9}{'MicroF':>9}"]
+    for fraction in sorted(results):
+        a, p, r, f = results[fraction].as_row()
+        lines.append(f"{fraction:<8.0%}{a:>9.4f}{p:>9.4f}{r:>9.4f}{f:>9.4f}")
+    return "\n".join(lines)
+
+
+def render_table6(rows: Sequence[Table6Row]) -> str:
+    lines = [
+        f"{'N new':<8}{'F before':>10}{'F after':>10}{'ΔF':>9}{'ms/paper':>10}"
+    ]
+    for row in rows:
+        before, after = row.base.f1, row.after.f1
+        lines.append(
+            f"{row.n_new_papers:<8}{before:>10.4f}{after:>10.4f}"
+            f"{after - before:>+9.4f}{row.avg_ms_per_paper:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig6(
+    results: Mapping[str, Mapping[float, PairwiseCounts]],
+) -> str:
+    blocks = []
+    for sim_name, sweep in results.items():
+        lines = [
+            f"[{sim_name}]",
+            f"{'δ':>8}{'MicroA':>9}{'MicroP':>9}{'MicroR':>9}{'MicroF':>9}",
+        ]
+        for threshold in sorted(sweep):
+            a, p, r, f = sweep[threshold].as_row()
+            lines.append(
+                f"{threshold:>8.1f}{a:>9.4f}{p:>9.4f}{r:>9.4f}{f:>9.4f}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_full_run(run: FullRun) -> str:
+    """The complete experiment report, one exhibit after another."""
+    sections = [
+        ("Figure 3 — descriptive power laws", render_fig3(run.fig3)),
+        (
+            "Table II — testing dataset",
+            f"{len(run.table2.rows)} names, {run.table2.total_authors} authors, "
+            f"{run.table2.total_papers} papers",
+        ),
+        ("Table III — performance comparison", render_metrics_table(run.table3)),
+        ("Table IV — effect of the two stages", render_table4(run.table4)),
+        ("Table V — avg seconds per name", render_table5(run.table5)),
+        ("Figure 5 — data-scale analysis", render_fig5(run.fig5)),
+        ("Table VI — incremental disambiguation", render_table6(run.table6)),
+        ("Figure 6 — similarity rationality", render_fig6(run.fig6)),
+    ]
+    parts = []
+    for title, body in sections:
+        parts.append(f"== {title} ==\n{body}")
+    parts.append(f"(total driver time: {run.seconds:.1f}s)")
+    return "\n\n".join(parts)

@@ -1,0 +1,18 @@
+"""Frequent-pattern mining substrate (FP-growth + Apriori oracle).
+
+η-stable collaborative relations (Definition 2 of the paper) are frequent
+2-itemsets over paper co-author lists; :func:`frequent_pairs` mines them.
+"""
+
+from .apriori import apriori
+from .fpgrowth import fpgrowth, frequent_pairs, pair_supports_by_item
+from .fptree import FPNode, FPTree
+
+__all__ = [
+    "FPNode",
+    "FPTree",
+    "apriori",
+    "fpgrowth",
+    "frequent_pairs",
+    "pair_supports_by_item",
+]

@@ -1,0 +1,84 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, 1994).
+
+Kept as the *test oracle* for FP-growth: Apriori is short enough to verify
+by eye, so property tests assert ``fpgrowth(db, s) == apriori(db, s)`` on
+random databases.  It is also used by the ablation bench to show why IUAD
+chose FP-growth (Apriori's candidate generation is slower on co-author
+data).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Hashable, Iterable, Sequence
+
+Item = Hashable
+Itemset = tuple[Item, ...]
+
+
+def apriori(
+    transactions: Iterable[Sequence[Item]],
+    min_support: int,
+    max_size: int | None = None,
+) -> dict[Itemset, int]:
+    """Mine all frequent itemsets with support ≥ ``min_support``.
+
+    Returns the same mapping as :func:`repro.fpm.fpgrowth.fpgrowth` —
+    itemsets are sorted tuples (by ``repr`` for cross-type determinism).
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    database = [frozenset(t) for t in transactions]
+    out: dict[Itemset, int] = {}
+
+    # L1
+    counts: Counter[Item] = Counter()
+    for transaction in database:
+        counts.update(transaction)
+    current: dict[Itemset, int] = {
+        (item,): c for item, c in counts.items() if c >= min_support
+    }
+    size = 1
+    while current:
+        for itemset, support in current.items():
+            out[tuple(sorted(itemset, key=repr))] = support
+        if max_size is not None and size >= max_size:
+            break
+        candidates = _generate_candidates(list(current), size + 1)
+        if not candidates:
+            break
+        next_counts: Counter[Itemset] = Counter()
+        candidate_sets = {c: frozenset(c) for c in candidates}
+        for transaction in database:
+            for candidate, cset in candidate_sets.items():
+                if cset <= transaction:
+                    next_counts[candidate] += 1
+        current = {
+            c: n for c, n in next_counts.items() if n >= min_support
+        }
+        size += 1
+    return out
+
+
+def _generate_candidates(frequent: list[Itemset], size: int) -> list[Itemset]:
+    """Join step + prune step of Apriori candidate generation."""
+    frequent_set = set(frequent)
+    ordered = sorted(frequent, key=lambda t: tuple(repr(x) for x in t))
+    candidates: list[Itemset] = []
+    seen: set[Itemset] = set()
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            if a[:-1] != b[:-1]:
+                continue
+            union = tuple(sorted(set(a) | set(b), key=repr))
+            if len(union) != size or union in seen:
+                continue
+            seen.add(union)
+            # Prune: every (size-1)-subset must be frequent.
+            if all(
+                tuple(sorted(sub, key=repr)) in frequent_set
+                for sub in combinations(union, size - 1)
+            ):
+                candidates.append(union)
+    return candidates

@@ -1,0 +1,164 @@
+"""FP-tree: the prefix-tree structure behind FP-growth (Han et al., 2000).
+
+An FP-tree compresses a transaction database by storing each transaction as
+a path of frequency-ordered items; transactions sharing a prefix share tree
+nodes.  A *header table* threads together all nodes of each item so that
+conditional pattern bases can be extracted without rescanning the database.
+
+IUAD (paper, Section IV-C Step I) uses FP-growth with support threshold η
+over paper co-author lists to mine the η-stable collaborative relations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Item = Hashable
+
+
+@dataclass(slots=True)
+class FPNode:
+    """One node of an FP-tree: an item, its count, and tree links."""
+
+    item: Item | None
+    count: int = 0
+    parent: "FPNode | None" = None
+    children: dict[Item, "FPNode"] = field(default_factory=dict)
+    next_same_item: "FPNode | None" = None  # header-table thread
+
+    def path_to_root(self) -> list[Item]:
+        """Items on the path from this node's parent up to (not incl.) root."""
+        path: list[Item] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        return path
+
+
+class FPTree:
+    """An FP-tree with header tables over a transaction multiset.
+
+    Items inside each transaction are reordered by decreasing global support
+    (ties broken by the item itself for determinism) and infrequent items are
+    dropped before insertion, exactly as in the FP-growth paper.
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Sequence[Item]],
+        min_support: int,
+        counts: Counter | None = None,
+    ):
+        if min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {min_support}")
+        self.min_support = min_support
+        materialised = [tuple(t) for t in transactions]
+        if counts is None:
+            counts = Counter()
+            for transaction in materialised:
+                counts.update(set(transaction))
+        self.item_counts: dict[Item, int] = {
+            item: c for item, c in counts.items() if c >= min_support
+        }
+        self.root = FPNode(item=None)
+        # header[item] -> first node of the item's thread.
+        self.header: dict[Item, FPNode] = {}
+        self._thread_tail: dict[Item, FPNode] = {}
+        for transaction in materialised:
+            self._insert(self._order(transaction), 1)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _order(self, transaction: Sequence[Item]) -> list[Item]:
+        kept = {i for i in transaction if i in self.item_counts}
+        return sorted(kept, key=lambda i: (-self.item_counts[i], repr(i)))
+
+    def _insert(self, items: Sequence[Item], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item=item, parent=node)
+                node.children[item] = child
+                self._thread(child)
+            child.count += count
+            node = child
+
+    def _thread(self, node: FPNode) -> None:
+        item = node.item
+        if item in self._thread_tail:
+            self._thread_tail[item].next_same_item = node
+        else:
+            self.header[item] = node
+        self._thread_tail[item] = node
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def nodes_of(self, item: Item) -> Iterator[FPNode]:
+        """All tree nodes holding ``item``, via the header thread."""
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.next_same_item
+
+    def support_of(self, item: Item) -> int:
+        """Global support of a single item (0 if infrequent)."""
+        return self.item_counts.get(item, 0)
+
+    def conditional_pattern_base(
+        self, item: Item
+    ) -> list[tuple[list[Item], int]]:
+        """Prefix paths ending at ``item`` with their counts.
+
+        The conditional pattern base of an item is the input from which
+        FP-growth builds the item's conditional FP-tree.
+        """
+        base: list[tuple[list[Item], int]] = []
+        for node in self.nodes_of(item):
+            path = node.path_to_root()
+            if path:
+                base.append((path, node.count))
+        return base
+
+    def conditional_tree(self, item: Item) -> "FPTree":
+        """The conditional FP-tree of ``item``."""
+        base = self.conditional_pattern_base(item)
+        counts: Counter = Counter()
+        for path, count in base:
+            for path_item in path:
+                counts[path_item] += count
+        tree = FPTree.__new__(FPTree)
+        tree.min_support = self.min_support
+        tree.item_counts = {
+            i: c for i, c in counts.items() if c >= self.min_support
+        }
+        tree.root = FPNode(item=None)
+        tree.header = {}
+        tree._thread_tail = {}
+        for path, count in base:
+            kept = [i for i in path if i in tree.item_counts]
+            kept.sort(key=lambda i: (-tree.item_counts[i], repr(i)))
+            tree._insert(kept, count)
+        return tree
+
+    def single_path(self) -> list[tuple[Item, int]] | None:
+        """If the tree is one straight path, return it ((item, count) list);
+        otherwise ``None``.  Single-path trees admit the FP-growth shortcut
+        of enumerating subsets directly."""
+        path: list[tuple[Item, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (node,) = node.children.values()
+            path.append((node.item, node.count))
+        return path

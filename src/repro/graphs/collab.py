@@ -1,0 +1,208 @@
+"""Collaboration network: vertices are author-identity hypotheses.
+
+Definition 1 of the paper: a collaboration network is a graph
+``G = (V, E, P)`` where every vertex is an author (here: an author-identity
+hypothesis carrying a *name* and a set of papers) and every edge ``(u, v)``
+carries the set of papers ``P_uv`` co-authored by ``u`` and ``v``.
+
+The same structure serves both stages: Stage 1 builds it from η-SCRs (high
+precision, possibly several vertices per true author), Stage 2 merges
+same-name vertices into the global collaboration network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .unionfind import UnionFind
+
+
+@dataclass(slots=True)
+class Vertex:
+    """An author-identity hypothesis: one name plus its attributed papers."""
+
+    vid: int
+    name: str
+    papers: set[int] = field(default_factory=set)
+
+    def __repr__(self) -> str:  # compact debugging output
+        return f"Vertex({self.vid}, {self.name!r}, {sorted(self.papers)})"
+
+
+class CollaborationNetwork:
+    """Mutable collaboration network with paper-annotated edges.
+
+    Vertices are addressed by integer ids; an index ``name -> [vid]`` makes
+    same-name candidate enumeration (Stage 2) cheap.
+    """
+
+    def __init__(self) -> None:
+        self._vertices: dict[int, Vertex] = {}
+        self._by_name: dict[str, list[int]] = {}
+        # adjacency: vid -> {other_vid: set of shared paper ids}
+        self._adj: dict[int, dict[int, set[int]]] = {}
+        self._next_vid = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, name: str, papers: Iterable[int] = ()) -> int:
+        """Create a vertex for ``name`` and return its id."""
+        vid = self._next_vid
+        self._next_vid += 1
+        self._vertices[vid] = Vertex(vid=vid, name=name, papers=set(papers))
+        self._by_name.setdefault(name, []).append(vid)
+        self._adj[vid] = {}
+        return vid
+
+    def add_edge(self, u: int, v: int, papers: Iterable[int]) -> None:
+        """Add (or extend) the edge ``(u, v)`` with ``papers``."""
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u}")
+        paper_set = set(papers)
+        self._adj[u].setdefault(v, set()).update(paper_set)
+        self._adj[v].setdefault(u, set()).update(paper_set)
+        self._vertices[u].papers.update(paper_set)
+        self._vertices[v].papers.update(paper_set)
+
+    def add_papers(self, vid: int, papers: Iterable[int]) -> None:
+        """Attribute extra papers to a vertex (no edge)."""
+        self._vertices[vid].papers.update(papers)
+
+    def set_papers(self, vid: int, papers: Iterable[int]) -> None:
+        """Overwrite a vertex's paper attribution.
+
+        The SCN builder uses this to make mention assignment unique when a
+        paper's co-author list is covered by SCRs that landed on different
+        vertices of the same name (edge paper sets are left untouched — they
+        remain the collaboration evidence).
+        """
+        self._vertices[vid].papers = set(papers)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._vertices
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices.values())
+
+    def vertex(self, vid: int) -> Vertex:
+        return self._vertices[vid]
+
+    def name_of(self, vid: int) -> str:
+        return self._vertices[vid].name
+
+    def papers_of(self, vid: int) -> set[int]:
+        return self._vertices[vid].papers
+
+    def vertices_of_name(self, name: str) -> list[int]:
+        """Ids of all vertices carrying ``name`` (Stage-2 candidates)."""
+        return list(self._by_name.get(name, ()))
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def neighbors(self, vid: int) -> dict[int, set[int]]:
+        """Adjacent vertices with the shared paper set of each edge."""
+        return dict(self._adj[vid])
+
+    def degree(self, vid: int) -> int:
+        return len(self._adj[vid])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj.get(u, {})
+
+    def edge_papers(self, u: int, v: int) -> set[int]:
+        """``P_uv`` — papers of the edge (empty set if absent)."""
+        return set(self._adj.get(u, {}).get(v, ()))
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[tuple[int, int, set[int]]]:
+        """All edges as ``(u, v, P_uv)`` with ``u < v``."""
+        for u, nbrs in self._adj.items():
+            for v, papers in nbrs.items():
+                if u < v:
+                    yield u, v, set(papers)
+
+    def isolated_vertices(self) -> list[int]:
+        """Vertices with no incident edge."""
+        return [vid for vid, nbrs in self._adj.items() if not nbrs]
+
+    def remove_isolated_vertex(self, vid: int) -> None:
+        """Remove a vertex that has no incident edges.
+
+        Used by the incremental mode to discard probe vertices once their
+        mention has been attached elsewhere.  Vertices with edges cannot be
+        removed (ids must stay stable for everything else).
+        """
+        if self._adj[vid]:
+            raise ValueError(f"vertex {vid} has edges; only isolated vertices are removable")
+        name = self._vertices[vid].name
+        self._by_name[name].remove(vid)
+        if not self._by_name[name]:
+            del self._by_name[name]
+        del self._vertices[vid]
+        del self._adj[vid]
+
+    # ------------------------------------------------------------------ #
+    # merging (Stage 2)
+    # ------------------------------------------------------------------ #
+    def merged(self, union: UnionFind) -> "CollaborationNetwork":
+        """A new network with vertices merged according to ``union``.
+
+        Every union-find component becomes one vertex whose papers are the
+        union of the members' papers; parallel edges accumulate their paper
+        sets.  Only same-name merges are legal (enforced here because the
+        decision stage must never merge across names).
+        """
+        out = CollaborationNetwork()
+        rep_to_new: dict[int, int] = {}
+        for vid, vertex in self._vertices.items():
+            rep = union.find(vid) if vid in union else vid
+            if rep not in rep_to_new:
+                rep_to_new[rep] = out.add_vertex(
+                    self._vertices[rep].name if rep in self._vertices else vertex.name
+                )
+            new_vid = rep_to_new[rep]
+            if out.name_of(new_vid) != vertex.name:
+                raise ValueError(
+                    f"illegal merge across names: {out.name_of(new_vid)!r} "
+                    f"vs {vertex.name!r}"
+                )
+            out.add_papers(new_vid, vertex.papers)
+        for u, v, papers in self.edges():
+            nu = rep_to_new[union.find(u) if u in union else u]
+            nv = rep_to_new[union.find(v) if v in union else v]
+            if nu != nv:
+                out.add_edge(nu, nv, papers)
+        # add_edge grows vertex paper sets with edge supports, but edge
+        # supports may contain papers whose *mention* is attributed to a
+        # different same-name vertex; restore the exact attribution (the
+        # union of the members' attributed papers).
+        attribution: dict[int, set[int]] = {}
+        for vid, vertex in self._vertices.items():
+            rep = union.find(vid) if vid in union else vid
+            attribution.setdefault(rep_to_new[rep], set()).update(vertex.papers)
+        for new_vid, papers in attribution.items():
+            out.set_papers(new_vid, papers)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # evaluation view
+    # ------------------------------------------------------------------ #
+    def clusters_of_name(self, name: str) -> dict[int, set[int]]:
+        """Predicted clustering for ``name``: vertex id -> paper ids."""
+        return {
+            vid: set(self._vertices[vid].papers)
+            for vid in self.vertices_of_name(name)
+        }

@@ -1,0 +1,75 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+The GCN construction stage merges same-name SCN vertices whose matching
+score clears the decision threshold δ; merges are transitive, so the final
+vertex set is the set of union-find components.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Key = Hashable
+
+
+class UnionFind:
+    """Classic disjoint-set structure over arbitrary hashable keys."""
+
+    def __init__(self, keys: Iterable[Key] = ()):
+        self._parent: dict[Key, Key] = {}
+        self._size: dict[Key, int] = {}
+        for key in keys:
+            self.add(key)
+
+    def add(self, key: Key) -> None:
+        """Register ``key`` as a singleton set (no-op if present)."""
+        if key not in self._parent:
+            self._parent[key] = key
+            self._size[key] = 1
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, key: Key) -> Key:
+        """Canonical representative of ``key``'s set (with path compression)."""
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: Key, b: Key) -> Key:
+        """Merge the sets of ``a`` and ``b``; returns the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Key, b: Key) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[Key, list[Key]]:
+        """All sets: representative -> sorted member list."""
+        out: dict[Key, list[Key]] = {}
+        for key in self._parent:
+            out.setdefault(self.find(key), []).append(key)
+        for members in out.values():
+            members.sort(key=repr)
+        return out
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint sets."""
+        return sum(1 for key in self._parent if self._parent[key] == key)

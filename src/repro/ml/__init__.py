@@ -1,0 +1,19 @@
+"""ML substrate (from scratch, numpy): trees, forests, boosting, clustering."""
+
+from .boosting import AdaBoostClassifier, GradientBoostingClassifier
+from .cluster import AffinityPropagation, hac_cluster, hdbscan_lite
+from .forest import RandomForestClassifier
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+from .xgb import XGBoostClassifier
+
+__all__ = [
+    "AdaBoostClassifier",
+    "AffinityPropagation",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "RandomForestClassifier",
+    "XGBoostClassifier",
+    "hac_cluster",
+    "hdbscan_lite",
+]

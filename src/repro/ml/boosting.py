@@ -1,0 +1,134 @@
+"""Boosting classifiers: AdaBoost (SAMME) and gradient boosting.
+
+Two of the four supervised Table III baselines.  AdaBoost follows the SAMME
+multi-class formulation (reduces to classic AdaBoost for two classes);
+gradient boosting fits regression trees to the negative gradient of the
+logistic loss with shrinkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@dataclass
+class AdaBoostClassifier:
+    """SAMME AdaBoost over shallow CART trees."""
+
+    n_estimators: int = 50
+    max_depth: int = 1
+    learning_rate: float = 1.0
+    random_state: int = 0
+    estimators_: list[DecisionTreeClassifier] = field(default_factory=list, init=False)
+    alphas_: list[float] = field(default_factory=list, init=False)
+    n_classes_: int = field(default=0, init=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(y)
+        self.n_classes_ = int(y.max()) + 1
+        k = self.n_classes_
+        w = np.full(n, 1.0 / n)
+        self.estimators_, self.alphas_ = [], []
+        for t in range(self.n_estimators):
+            stump = DecisionTreeClassifier(
+                max_depth=self.max_depth, random_state=self.random_state + t
+            )
+            stump.fit(X, y, sample_weight=w)
+            if stump.n_classes_ < k:
+                stump.n_classes_ = k
+            pred = stump.predict(X)
+            miss = pred != y
+            err = float(w[miss].sum() / w.sum())
+            if err >= 1.0 - 1.0 / k:
+                continue  # worse than chance: skip this round
+            err = max(err, 1e-10)
+            alpha = self.learning_rate * (
+                np.log((1.0 - err) / err) + np.log(k - 1.0)
+            )
+            if alpha <= 0.0:
+                continue
+            w *= np.exp(alpha * miss)
+            w /= w.sum()
+            self.estimators_.append(stump)
+            self.alphas_.append(alpha)
+            if err < 1e-9:
+                break
+        if not self.estimators_:
+            # Degenerate data: keep one stump so predict() works.
+            stump = DecisionTreeClassifier(max_depth=self.max_depth)
+            stump.fit(X, y)
+            self.estimators_ = [stump]
+            self.alphas_ = [1.0]
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-class weighted vote totals."""
+        scores = np.zeros((len(X), self.n_classes_))
+        for stump, alpha in zip(self.estimators_, self.alphas_):
+            pred = stump.predict(X)
+            scores[np.arange(len(X)), pred] += alpha
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_scores(X)
+        total = scores.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return scores / total
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.decision_scores(X).argmax(axis=1)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+@dataclass
+class GradientBoostingClassifier:
+    """Binary GBDT with logistic loss (Friedman 2001)."""
+
+    n_estimators: int = 100
+    learning_rate: float = 0.1
+    max_depth: int = 3
+    min_samples_leaf: int = 1
+    trees_: list[DecisionTreeRegressor] = field(default_factory=list, init=False)
+    init_score_: float = field(default=0.0, init=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("GradientBoostingClassifier is binary (labels 0/1)")
+        p = float(np.clip(y.mean(), 1e-6, 1.0 - 1e-6))
+        self.init_score_ = float(np.log(p / (1.0 - p)))
+        raw = np.full(len(y), self.init_score_)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            residual = y - _sigmoid(raw)  # negative gradient of logloss
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(X, residual)
+            raw += self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        raw = np.full(len(X), self.init_score_)
+        for tree in self.trees_:
+            raw += self.learning_rate * tree.predict(np.asarray(X, np.float64))
+        return raw
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        p1 = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(np.int64)

@@ -1,0 +1,179 @@
+"""Clustering substrate for the unsupervised baselines.
+
+* :func:`hac_cluster` — hierarchical agglomerative clustering (ANON and
+  Aminer cluster papers with HAC), built on scipy's linkage;
+* :class:`AffinityPropagation` — Frey & Dueck (2007), from scratch (GHOST
+  and NetE's secondary clusterer);
+* :func:`hdbscan_lite` — a simplified HDBSCAN (Campello et al., 2013):
+  mutual-reachability distances → MST → cut long edges → discard clusters
+  below ``min_cluster_size`` (NetE's primary clusterer).  The full
+  stability-based cluster extraction is out of scope; the mutual-reachability
+  MST core — which is what gives HDBSCAN its density adaptivity — is kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import minimum_spanning_tree
+from scipy.spatial.distance import squareform
+
+
+def hac_cluster(
+    distances: np.ndarray,
+    threshold: float,
+    method: str = "average",
+) -> np.ndarray:
+    """Agglomerative clustering cut at a distance threshold.
+
+    Args:
+        distances: Square symmetric distance matrix ``(n, n)``.
+        threshold: Clusters are merged while linkage distance ≤ threshold.
+        method: scipy linkage method ("average", "complete", "single").
+
+    Returns:
+        Integer labels ``(n,)`` starting at 0.
+    """
+    n = distances.shape[0]
+    if n == 1:
+        return np.zeros(1, dtype=int)
+    condensed = squareform(np.asarray(distances, dtype=np.float64), checks=False)
+    tree = linkage(condensed, method=method)
+    return fcluster(tree, t=threshold, criterion="distance") - 1
+
+
+class AffinityPropagation:
+    """Affinity propagation on a similarity matrix (Frey & Dueck, 2007)."""
+
+    def __init__(
+        self,
+        damping: float = 0.7,
+        max_iterations: int = 200,
+        convergence_iterations: int = 15,
+        preference: float | None = None,
+    ):
+        if not 0.5 <= damping < 1.0:
+            raise ValueError(f"damping must be in [0.5, 1), got {damping}")
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.convergence_iterations = convergence_iterations
+        self.preference = preference
+
+    def fit_predict(self, similarity: np.ndarray) -> np.ndarray:
+        """Cluster labels from a square similarity matrix."""
+        S = np.array(similarity, dtype=np.float64, copy=True)
+        n = S.shape[0]
+        if n == 1:
+            return np.zeros(1, dtype=int)
+        pref = (
+            float(np.median(S[~np.eye(n, dtype=bool)]))
+            if self.preference is None
+            else self.preference
+        )
+        np.fill_diagonal(S, pref)
+        # small symmetric noise breaks ties deterministically
+        rng = np.random.default_rng(0)
+        S += 1e-10 * S.std() * rng.standard_normal((n, n))
+
+        A = np.zeros((n, n))
+        R = np.zeros((n, n))
+        stable = 0
+        last_exemplars: np.ndarray | None = None
+        for _ in range(self.max_iterations):
+            # responsibilities
+            AS = A + S
+            idx = np.argmax(AS, axis=1)
+            first = AS[np.arange(n), idx]
+            AS[np.arange(n), idx] = -np.inf
+            second = AS.max(axis=1)
+            new_R = S - first[:, None]
+            new_R[np.arange(n), idx] = S[np.arange(n), idx] - second
+            R = self.damping * R + (1.0 - self.damping) * new_R
+            # availabilities
+            Rp = np.maximum(R, 0.0)
+            np.fill_diagonal(Rp, R.diagonal())
+            col = Rp.sum(axis=0)
+            new_A = np.minimum(0.0, col[None, :] - Rp)
+            np.fill_diagonal(new_A, col - Rp.diagonal())
+            A = self.damping * A + (1.0 - self.damping) * new_A
+
+            exemplars = np.nonzero((A + R).diagonal() > 0)[0]
+            if last_exemplars is not None and np.array_equal(
+                exemplars, last_exemplars
+            ):
+                stable += 1
+                if stable >= self.convergence_iterations:
+                    break
+            else:
+                stable = 0
+            last_exemplars = exemplars
+
+        exemplars = np.nonzero((A + R).diagonal() > 0)[0]
+        if exemplars.size == 0:
+            return np.zeros(n, dtype=int)
+        labels = np.argmax(S[:, exemplars], axis=1)
+        labels[exemplars] = np.arange(exemplars.size)
+        return labels
+
+
+def hdbscan_lite(
+    distances: np.ndarray,
+    min_cluster_size: int = 2,
+    min_samples: int = 2,
+    cut_quantile: float = 0.9,
+) -> np.ndarray:
+    """Simplified HDBSCAN: mutual-reachability MST with a quantile cut.
+
+    1. core distance of each point = distance to its ``min_samples``-th
+       neighbour;
+    2. mutual reachability ``d_mr(a, b) = max(core_a, core_b, d(a, b))``;
+    3. minimum spanning tree over ``d_mr``;
+    4. remove MST edges above the ``cut_quantile`` of MST edge weights;
+    5. connected components below ``min_cluster_size`` become singleton
+       "noise" clusters (each its own author — the safe default for
+       disambiguation).
+
+    Returns integer labels ``(n,)``.
+    """
+    D = np.asarray(distances, dtype=np.float64)
+    n = D.shape[0]
+    if n <= 1:
+        return np.zeros(n, dtype=int)
+    k = min(min_samples, n - 1)
+    core = np.partition(D + np.diag([np.inf] * n), k - 1, axis=1)[:, k - 1]
+    mr = np.maximum(D, np.maximum(core[:, None], core[None, :]))
+    np.fill_diagonal(mr, 0.0)
+    mst = minimum_spanning_tree(csr_matrix(mr)).tocoo()
+    if mst.data.size == 0:
+        return np.arange(n, dtype=int)
+    cut = np.quantile(mst.data, cut_quantile)
+    keep = mst.data <= cut
+    # union-find over surviving edges
+    parent = np.arange(n)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in zip(mst.row[keep], mst.col[keep]):
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[ru] = rv
+    roots = np.array([find(i) for i in range(n)])
+    sizes = np.bincount(roots, minlength=n)
+    labels = np.empty(n, dtype=int)
+    next_label = 0
+    seen: dict[int, int] = {}
+    for i, root in enumerate(roots):
+        if sizes[root] < min_cluster_size:
+            labels[i] = next_label  # noise -> own singleton cluster
+            next_label += 1
+        else:
+            if root not in seen:
+                seen[root] = next_label
+                next_label += 1
+            labels[i] = seen[root]
+    return labels

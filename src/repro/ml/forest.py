@@ -1,0 +1,75 @@
+"""Random forest classifier (Breiman 2001) on the CART substrate.
+
+One of the four supervised Table III baselines, following Treeratpituk &
+Giles (2009) who disambiguate authors with random forests over pairwise
+features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bagged CART trees with √d feature subsampling."""
+
+    n_estimators: int = 50
+    max_depth: int | None = None
+    min_samples_leaf: int = 1
+    random_state: int = 0
+    trees_: list[DecisionTreeClassifier] = field(default_factory=list, init=False)
+    n_classes_: int = field(default=0, init=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        rng = np.random.default_rng(self.random_state)
+        self.n_classes_ = int(y.max()) + 1
+        self.trees_ = []
+        n = len(y)
+        for t in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features="sqrt",
+                random_state=self.random_state + t,
+            )
+            # Bootstrap may miss a class; pad so all trees agree on shape.
+            yb = y[idx]
+            tree.fit(X[idx], yb)
+            if tree.n_classes_ < self.n_classes_:
+                tree.n_classes_ = self.n_classes_
+                _pad_tree_leaves(tree, self.n_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        proba = np.zeros((len(X), self.n_classes_))
+        for tree in self.trees_:
+            proba += tree.predict_proba(X)
+        return proba / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)
+
+
+def _pad_tree_leaves(tree: DecisionTreeClassifier, n_classes: int) -> None:
+    """Extend leaf distributions of a tree trained on fewer classes."""
+    stack = [tree._root]  # noqa: SLF001 — internal surgery by design
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if node.value is not None and len(node.value) < n_classes:
+            padded = np.zeros(n_classes)
+            padded[: len(node.value)] = node.value
+            node.value = padded
+        stack.extend([node.left, node.right])

@@ -1,0 +1,28 @@
+"""Probabilistic generative model: exponential-family mixture + EM + scores."""
+
+from .exponential_family import (
+    DEFAULT_FAMILIES,
+    Component,
+    Exponential,
+    Gaussian,
+    Multinomial,
+    ZeroInflatedExponential,
+    make_component,
+)
+from .mixture import EMReport, MatchMixture
+from .scoring import decide, match_score, match_scores
+
+__all__ = [
+    "Component",
+    "DEFAULT_FAMILIES",
+    "EMReport",
+    "Exponential",
+    "Gaussian",
+    "MatchMixture",
+    "Multinomial",
+    "ZeroInflatedExponential",
+    "decide",
+    "make_component",
+    "match_score",
+    "match_scores",
+]

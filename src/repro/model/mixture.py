@@ -1,0 +1,184 @@
+"""Two-component (matched / unmatched) mixture fitted with EM.
+
+Section V-C: candidate pairs ``r_j`` with similarity vectors ``γ_j`` are
+generated either by the *matched* class M (two vertices of one author) with
+prior ``p`` or the *unmatched* class U with prior ``1 − p``; features are
+conditionally independent given the class, each following an
+exponential-family density.  The latent labels make direct MLE impossible,
+so the parameters are learned with EM — the M-step MLEs are exactly the
+Table I updates implemented by the component classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .exponential_family import DEFAULT_FAMILIES, Component, make_component
+
+_EPS = 1e-12
+
+
+@dataclass(slots=True)
+class EMReport:
+    """Fit diagnostics: one log-likelihood per EM iteration."""
+
+    log_likelihoods: list[float]
+    converged: bool
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.log_likelihoods)
+
+
+class MatchMixture:
+    """The matched/unmatched generative model of Stage 2.
+
+    Attributes:
+        prior_match: ``p = P(r ∈ M)``.
+        matched: Per-feature conditional densities of class M.
+        unmatched: Per-feature conditional densities of class U.
+    """
+
+    def __init__(self, families: Sequence[str] = DEFAULT_FAMILIES):
+        self.families = tuple(families)
+        self.prior_match = 0.2
+        self.matched: list[Component] = [make_component(f) for f in families]
+        self.unmatched: list[Component] = [make_component(f) for f in families]
+
+    # ------------------------------------------------------------------ #
+    # densities
+    # ------------------------------------------------------------------ #
+    def _check(self, gammas: np.ndarray) -> np.ndarray:
+        gammas = np.atleast_2d(np.asarray(gammas, dtype=np.float64))
+        if gammas.shape[1] != len(self.families):
+            raise ValueError(
+                f"expected {len(self.families)} features, got {gammas.shape[1]}"
+            )
+        return gammas
+
+    def log_density(self, gammas: np.ndarray, matched: bool) -> np.ndarray:
+        """``log P(γ | class)`` for every row (conditional independence)."""
+        gammas = self._check(gammas)
+        components = self.matched if matched else self.unmatched
+        total = np.zeros(gammas.shape[0])
+        for i, component in enumerate(components):
+            total += component.log_pdf(gammas[:, i])
+        return total
+
+    def responsibilities(self, gammas: np.ndarray) -> np.ndarray:
+        """``P(r ∈ M | γ, Θ)`` for every row (the E-step)."""
+        gammas = self._check(gammas)
+        log_m = self.log_density(gammas, matched=True) + np.log(
+            max(self.prior_match, _EPS)
+        )
+        log_u = self.log_density(gammas, matched=False) + np.log(
+            max(1.0 - self.prior_match, _EPS)
+        )
+        peak = np.maximum(log_m, log_u)
+        em = np.exp(log_m - peak)
+        eu = np.exp(log_u - peak)
+        return em / (em + eu)
+
+    def log_likelihood(self, gammas: np.ndarray) -> float:
+        """Observed-data log-likelihood ``Σ_j log P(γ_j | Θ)``."""
+        gammas = self._check(gammas)
+        log_m = self.log_density(gammas, matched=True) + np.log(
+            max(self.prior_match, _EPS)
+        )
+        log_u = self.log_density(gammas, matched=False) + np.log(
+            max(1.0 - self.prior_match, _EPS)
+        )
+        peak = np.maximum(log_m, log_u)
+        return float(
+            (peak + np.log(np.exp(log_m - peak) + np.exp(log_u - peak))).sum()
+        )
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        gammas: np.ndarray,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+        initial_responsibilities: np.ndarray | None = None,
+    ) -> EMReport:
+        """Fit by EM.
+
+        Args:
+            gammas: ``(n, m)`` similarity vectors of the training pairs.
+            max_iterations: EM iteration cap.
+            tolerance: Convergence threshold on the log-likelihood delta.
+            initial_responsibilities: Optional warm start for the E-step
+                (e.g. known matched pairs from the vertex-splitting balance
+                strategy get responsibility ≈ 1).  When omitted, pairs are
+                seeded by their total standardised similarity — higher
+                overall similarity, more likely matched.
+        """
+        gammas = self._check(gammas)
+        n = gammas.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty pair set")
+        if initial_responsibilities is None:
+            resp = self._seed_responsibilities(gammas)
+        else:
+            resp = np.clip(
+                np.asarray(initial_responsibilities, dtype=np.float64),
+                1e-3,
+                1.0 - 1e-3,
+            )
+            if resp.shape != (n,):
+                raise ValueError(
+                    f"initial responsibilities shape {resp.shape} != ({n},)"
+                )
+
+        history: list[float] = []
+        converged = False
+        self._m_step(gammas, resp)
+        for _ in range(max_iterations):
+            resp = self.responsibilities(gammas)
+            self._m_step(gammas, resp)
+            ll = self.log_likelihood(gammas)
+            if history and abs(ll - history[-1]) < tolerance:
+                history.append(ll)
+                converged = True
+                break
+            history.append(ll)
+        self._orient(gammas)
+        return EMReport(log_likelihoods=history, converged=converged)
+
+    def _seed_responsibilities(self, gammas: np.ndarray) -> np.ndarray:
+        """Heuristic warm start: standardise each feature, rank pairs by the
+        total, softly label the top quintile as matched."""
+        std = gammas.std(axis=0)
+        std[std == 0.0] = 1.0
+        z = ((gammas - gammas.mean(axis=0)) / std).sum(axis=1)
+        threshold = np.quantile(z, 0.8)
+        return np.where(z >= threshold, 0.9, 0.1)
+
+    def _m_step(self, gammas: np.ndarray, resp: np.ndarray) -> None:
+        self.prior_match = float(np.clip(resp.mean(), 1e-4, 1.0 - 1e-4))
+        inverse = 1.0 - resp
+        for i in range(len(self.families)):
+            self.matched[i].fit(gammas[:, i], resp)
+            self.unmatched[i].fit(gammas[:, i], inverse)
+
+    def _orient(self, gammas: np.ndarray) -> None:
+        """Ensure the M component is the *high-similarity* one.
+
+        EM is symmetric in its two components; if it converged with M and U
+        swapped (matched pairs scoring low), swap them back.  Orientation is
+        decided by the mean total similarity of the top-responsibility pairs.
+        """
+        resp = self.responsibilities(gammas)
+        total = gammas.sum(axis=1)
+        matched_mean = float((resp * total).sum() / max(resp.sum(), _EPS))
+        unmatched_mean = float(
+            ((1.0 - resp) * total).sum() / max((1.0 - resp).sum(), _EPS)
+        )
+        if matched_mean < unmatched_mean:
+            self.matched, self.unmatched = self.unmatched, self.matched
+            self.prior_match = 1.0 - self.prior_match

@@ -1,0 +1,45 @@
+"""Matching scores and the merge decision rule (Section V-D).
+
+Given the learned parameters, every candidate pair gets the Fellegi–Sunter
+style log-posterior-odds score of Eq. 11:
+
+``sc_j = log( P(r_j ∈ M | γ_j, Θ̂) / P(r_j ∈ U | γ_j, Θ̂) )``
+
+and the pair is merged when ``sc_j ≥ δ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mixture import MatchMixture
+
+_EPS = 1e-12
+
+
+def match_scores(model: MatchMixture, gammas: np.ndarray) -> np.ndarray:
+    """Eq. 11 scores for each row of ``gammas``.
+
+    Computed in log space: the posterior odds equal the prior odds times the
+    likelihood ratio, so
+    ``sc = log p − log(1−p) + log P(γ|M) − log P(γ|U)``.
+    """
+    gammas = np.atleast_2d(np.asarray(gammas, dtype=np.float64))
+    prior = np.log(max(model.prior_match, _EPS)) - np.log(
+        max(1.0 - model.prior_match, _EPS)
+    )
+    return (
+        prior
+        + model.log_density(gammas, matched=True)
+        - model.log_density(gammas, matched=False)
+    )
+
+
+def match_score(model: MatchMixture, gamma: np.ndarray) -> float:
+    """Eq. 11 score of a single pair."""
+    return float(match_scores(model, np.atleast_2d(gamma))[0])
+
+
+def decide(model: MatchMixture, gammas: np.ndarray, delta: float) -> np.ndarray:
+    """Boolean merge decisions: ``sc_j ≥ δ`` (Algorithm 1, line 14)."""
+    return match_scores(model, gammas) >= delta

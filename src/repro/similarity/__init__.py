@@ -1,0 +1,27 @@
+"""The six similarity functions of Stage 2 and the profile cache."""
+
+from .community import (
+    representative_community_similarity,
+    research_community_similarity,
+)
+from .interests import interest_cosine, min_year_difference, time_consistency
+from .profile import (
+    N_SIMILARITIES,
+    SIMILARITY_NAMES,
+    SimilarityComputer,
+    VertexProfile,
+)
+from .structural import clique_coincidence
+
+__all__ = [
+    "N_SIMILARITIES",
+    "SIMILARITY_NAMES",
+    "SimilarityComputer",
+    "VertexProfile",
+    "clique_coincidence",
+    "interest_cosine",
+    "min_year_difference",
+    "representative_community_similarity",
+    "research_community_similarity",
+    "time_consistency",
+]

@@ -1,0 +1,201 @@
+"""Vertex profiles and the six-dimensional similarity computer.
+
+Stage 2 (Section V-B) scores every candidate pair of same-name SCN vertices
+with a similarity vector ``γ = (γ1 … γ6)``:
+
+======  ===================================  =========================
+γ       What it measures                     Module
+======  ===================================  =========================
+γ1      normalised WL sub-graph kernel       :mod:`..graphs.wl`
+γ2      co-author clique coincidence ratio   :mod:`.structural`
+γ3      research-interest cosine             :mod:`.interests`
+γ4      time consistency of interests        :mod:`.interests`
+γ5      representative-community similarity  :mod:`.community`
+γ6      research-community (Adamic/Adar)     :mod:`.community`
+======  ===================================  =========================
+
+A :class:`VertexProfile` caches everything a vertex contributes to those
+functions (keywords, venues, years, triangles, WL features), so that the
+O(candidate pairs) scoring loop never re-derives per-vertex state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..data.records import Corpus
+from ..graphs.collab import CollaborationNetwork
+from ..graphs.triangles import coauthor_triangle_names
+from ..graphs.wl import wl_feature_map
+from ..text.embeddings import WordEmbeddings, cosine
+from ..text.tokenize import corpus_word_frequencies, extract_keywords
+from .community import representative_community_similarity, research_community_similarity
+from .interests import interest_cosine, time_consistency
+from .structural import clique_coincidence
+
+#: Number of similarity functions (``m`` in Section V-C).
+N_SIMILARITIES = 6
+
+SIMILARITY_NAMES = (
+    "wl_kernel",
+    "clique_coincidence",
+    "interest_cosine",
+    "time_consistency",
+    "representative_community",
+    "research_community",
+)
+
+
+@dataclass(slots=True)
+class VertexProfile:
+    """Cached per-vertex state feeding the six similarity functions."""
+
+    vid: int
+    name: str
+    n_papers: int
+    keywords: Counter[str]
+    keyword_years: dict[str, tuple[int, int]]  # word -> (min year, max year)
+    centroid: np.ndarray | None
+    venues: Counter[str]
+    top_venue: str | None
+    triangles: frozenset[frozenset[str]]
+    wl_features: Counter = field(default_factory=Counter)
+
+
+class SimilarityComputer:
+    """Computes ``γ`` vectors for vertex pairs of a collaboration network."""
+
+    def __init__(
+        self,
+        net: CollaborationNetwork,
+        corpus: Corpus,
+        embeddings: WordEmbeddings | None = None,
+        word_frequencies: Mapping[str, int] | None = None,
+        wl_iterations: int = 2,
+        decay_alpha: float = 0.62,
+        frequent_keywords: frozenset[str] = frozenset(),
+    ):
+        """
+        Args:
+            net: The (stable) collaboration network being scored.
+            corpus: The underlying paper database.
+            embeddings: Keyword vectors for γ3; when ``None``, γ3 falls back
+                to keyword-multiset cosine (no semantic generalisation).
+            word_frequencies: ``F_B`` of Eq. 7; computed from the corpus
+                titles when omitted.
+            wl_iterations: ``h`` of the WL kernel (Eq. 3).
+            decay_alpha: α of Eq. 7 (0.62 in the paper, from FutureRank).
+            frequent_keywords: Words excluded from keyword profiles.
+        """
+        self.net = net
+        self.corpus = corpus
+        self.embeddings = embeddings
+        self.wl_iterations = wl_iterations
+        self.decay_alpha = decay_alpha
+        self.frequent_keywords = frequent_keywords
+        if word_frequencies is None:
+            word_frequencies = corpus_word_frequencies(
+                p.title for p in corpus
+            )
+        self.word_frequencies = word_frequencies
+        self.venue_frequencies = corpus.venue_frequencies
+        self._profiles: dict[int, VertexProfile] = {}
+
+    # ------------------------------------------------------------------ #
+    def profile(self, vid: int) -> VertexProfile:
+        """The (cached) profile of vertex ``vid``."""
+        cached = self._profiles.get(vid)
+        if cached is not None:
+            return cached
+        profile = self._build_profile(vid)
+        self._profiles[vid] = profile
+        return profile
+
+    def invalidate(self, vid: int) -> None:
+        """Drop the cached profile of ``vid`` (after its papers changed).
+
+        Incremental mode mutates GCN vertices when a new paper is attached;
+        the stale profile must not survive.  Neighbours' WL features shift
+        too, so their caches are dropped as well.
+        """
+        self._profiles.pop(vid, None)
+        if vid in self.net:
+            for nbr in self.net.neighbors(vid):
+                self._profiles.pop(nbr, None)
+
+    def _build_profile(self, vid: int) -> VertexProfile:
+        vertex = self.net.vertex(vid)
+        keywords: Counter[str] = Counter()
+        keyword_years: dict[str, tuple[int, int]] = {}
+        venues: Counter[str] = Counter()
+        for pid in vertex.papers:
+            paper = self.corpus[pid]
+            venues[paper.venue] += 1
+            for word in extract_keywords(paper.title, self.frequent_keywords):
+                keywords[word] += 1
+                lo, hi = keyword_years.get(word, (paper.year, paper.year))
+                keyword_years[word] = (min(lo, paper.year), max(hi, paper.year))
+        centroid = (
+            self.embeddings.centroid(keywords) if self.embeddings else None
+        )
+        return VertexProfile(
+            vid=vid,
+            name=vertex.name,
+            n_papers=len(vertex.papers),
+            keywords=keywords,
+            keyword_years=keyword_years,
+            centroid=centroid,
+            venues=venues,
+            top_venue=venues.most_common(1)[0][0] if venues else None,
+            triangles=frozenset(coauthor_triangle_names(self.net, vid)),
+            wl_features=wl_feature_map(self.net, vid, self.wl_iterations),
+        )
+
+    # ------------------------------------------------------------------ #
+    def similarity_vector(self, u: int, v: int) -> np.ndarray:
+        """``γ`` for the vertex pair ``(u, v)`` — six non-negative reals
+        except γ3 which lives in ``[-1, 1]``."""
+        pu, pv = self.profile(u), self.profile(v)
+        tau = max(1, min(pu.n_papers, pv.n_papers))
+        gamma = np.empty(N_SIMILARITIES, dtype=np.float64)
+        gamma[0] = self._wl(pu, pv)
+        gamma[1] = clique_coincidence(pu.triangles, pv.triangles, tau)
+        gamma[2] = self._interest(pu, pv)
+        gamma[3] = time_consistency(
+            pu.keyword_years,
+            pv.keyword_years,
+            self.word_frequencies,
+            tau,
+            self.decay_alpha,
+        )
+        gamma[4] = representative_community_similarity(
+            pu.venues, pv.venues, pu.top_venue, pv.top_venue, tau
+        )
+        gamma[5] = research_community_similarity(
+            pu.venues, pv.venues, self.venue_frequencies, tau
+        )
+        return gamma
+
+    def _wl(self, pu: VertexProfile, pv: VertexProfile) -> float:
+        from ..graphs.wl import normalized_wl_kernel
+
+        return normalized_wl_kernel(pu.wl_features, pv.wl_features)
+
+    def _interest(self, pu: VertexProfile, pv: VertexProfile) -> float:
+        if pu.centroid is not None and pv.centroid is not None:
+            return cosine(pu.centroid, pv.centroid)
+        return interest_cosine(pu.keywords, pv.keywords)
+
+    # ------------------------------------------------------------------ #
+    def pair_matrix(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> np.ndarray:
+        """Similarity vectors for many pairs, stacked into ``(n, 6)``."""
+        out = np.empty((len(pairs), N_SIMILARITIES), dtype=np.float64)
+        for row, (u, v) in enumerate(pairs):
+            out[row] = self.similarity_vector(u, v)
+        return out

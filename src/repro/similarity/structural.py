@@ -1,0 +1,31 @@
+"""Structural similarities: γ1 (WL kernel) lives in :mod:`repro.graphs.wl`;
+this module holds γ2, the co-author clique coincidence ratio (Eq. 5).
+
+Triangles (the cliques the paper actually enumerates, for speed) are keyed
+by the *names* of the two co-authors, because two same-name vertices never
+share vertex ids — what they can share is collaborators' names.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+NameClique = frozenset[str]
+
+
+def clique_coincidence(
+    cliques_u: AbstractSet[NameClique],
+    cliques_v: AbstractSet[NameClique],
+    tau: int,
+) -> float:
+    """γ2 = ``|L(u) ∩ L(v)| / τ`` (Eq. 5).
+
+    Args:
+        cliques_u: Co-author cliques of the first vertex (name-keyed).
+        cliques_v: Co-author cliques of the second vertex.
+        tau: Productivity balance — the smaller paper count of the two
+            vertices (same τ as Eqs. 7–9).
+    """
+    if tau < 1:
+        raise ValueError(f"tau must be >= 1, got {tau}")
+    return len(cliques_u & cliques_v) / tau

@@ -1,0 +1,74 @@
+"""Title tokenisation and keyword extraction.
+
+γ3/γ4 (Section V-B2) work on *keywords* from paper titles: stop words and
+overly frequent generic words are excluded so that what remains carries the
+author's research interests.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9]+")
+
+#: Standard English stop words plus title boilerplate.  The paper excludes
+#: "the stop words or the frequent words in paper titles".
+STOP_WORDS = frozenset(
+    """
+    a an and are as at be by for from has have in is it its of on or that
+    the this to was were will with we you your our their i not no do does
+    can could should would may might must about above after again against
+    all am any because been before being below between both but did down
+    during each few further here how if into more most much my nor off
+    once only other out over own same so some such than then there these
+    they those through too under until up very what when where which while
+    who whom why
+    toward towards using based via
+    """.split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens of ``text`` (alphanumeric, len >= 2)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def extract_keywords(
+    title: str,
+    frequent_words: frozenset[str] | set[str] = frozenset(),
+) -> list[str]:
+    """Keywords of one title: tokens minus stop words and frequent words."""
+    return [
+        tok
+        for tok in tokenize(title)
+        if tok not in STOP_WORDS and tok not in frequent_words
+    ]
+
+
+def corpus_word_frequencies(titles: Iterable[str]) -> Counter[str]:
+    """``F_B(b)``: occurrence count of every word over all titles (Eq. 7)."""
+    counts: Counter[str] = Counter()
+    for title in titles:
+        counts.update(tokenize(title))
+    return counts
+
+
+def frequent_words(
+    word_freq: Counter[str],
+    top_fraction: float = 0.01,
+    min_rank: int = 10,
+) -> frozenset[str]:
+    """The most frequent non-stop words, to be excluded from keywords.
+
+    The paper excludes "the frequent words in paper titles"; we drop the top
+    ``top_fraction`` of the vocabulary by frequency (at least ``min_rank``
+    words), which removes corpus-generic terms like "approach"/"method".
+    """
+    if not 0.0 <= top_fraction < 1.0:
+        raise ValueError(f"top_fraction must be in [0, 1), got {top_fraction}")
+    vocab = [w for w in word_freq if w not in STOP_WORDS]
+    vocab.sort(key=lambda w: (-word_freq[w], w))
+    cutoff = max(min_rank, int(len(vocab) * top_fraction))
+    return frozenset(vocab[:cutoff])

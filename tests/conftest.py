@@ -1,0 +1,73 @@
+"""Shared fixtures: small synthetic worlds and the paper's running example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Corpus, Paper
+from repro.data.synthetic import SyntheticConfig, SyntheticDBLP
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SyntheticConfig:
+    """A fast world: a few hundred papers, still ambiguous."""
+    return SyntheticConfig(
+        n_authors=500,
+        n_papers=1200,
+        name_pool_size=700,
+        n_communities=40,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config):
+    return SyntheticDBLP(small_config).generate_world()
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_world) -> Corpus:
+    return small_world.corpus
+
+
+@pytest.fixture()
+def figure2_corpus() -> Corpus:
+    """The paper's Figure 2 running example: 8 papers, names a–g."""
+    rows = [
+        ("a", "b", "c", "d"),
+        ("a", "c", "d"),
+        ("a", "b", "c"),
+        ("a", "b", "c"),
+        ("b", "e"),
+        ("b", "e"),
+        ("b", "f"),
+        ("b", "g"),
+    ]
+    return Corpus(
+        Paper(
+            pid=i,
+            authors=authors,
+            title=f"paper {i} mining graphs",
+            venue="VENUE-X" if i < 4 else "VENUE-Y",
+            year=2000 + i,
+        )
+        for i, authors in enumerate(rows)
+    )
+
+
+@pytest.fixture()
+def labelled_corpus() -> Corpus:
+    """A tiny labelled corpus: two authors share the name 'X Y'."""
+    papers = [
+        # author 1 (id 100): works with P, Q at VLDB-ish venue
+        Paper(0, ("X Y", "P A"), "query index join", "VLDB", 2001, (100, 1)),
+        Paper(1, ("X Y", "P A"), "index storage btree", "VLDB", 2002, (100, 1)),
+        Paper(2, ("X Y", "Q B"), "query optimization", "VLDB", 2003, (100, 2)),
+        Paper(3, ("X Y", "P A", "Q B"), "transaction recovery", "VLDB", 2004, (100, 1, 2)),
+        # author 2 (id 200): works with R, S at CVPR-ish venue
+        Paper(4, ("X Y", "R C"), "image segmentation", "CVPR", 2001, (200, 3)),
+        Paper(5, ("X Y", "R C"), "object detection scene", "CVPR", 2002, (200, 3)),
+        Paper(6, ("X Y", "S D"), "stereo depth tracking", "CVPR", 2003, (200, 4)),
+        Paper(7, ("X Y", "R C", "S D"), "pose recognition", "CVPR", 2005, (200, 3, 4)),
+    ]
+    return Corpus(papers)

@@ -1,0 +1,131 @@
+"""Tests for the eight baseline re-implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ANON,
+    Aminer,
+    GHOST,
+    NetE,
+    PaperView,
+    SupervisedPairwise,
+    pair_features,
+    predict_all,
+    training_pairs_from_names,
+    views_of_name,
+)
+from repro.baselines.ghost import coauthor_graph, path_similarity_matrix
+from repro.data import build_testing_dataset
+from repro.data.synthetic import ambiguous_names
+from repro.data.testing import per_name_truth
+from repro.eval import micro_metrics
+
+UNSUPERVISED = [ANON, NetE, Aminer, GHOST]
+
+
+class TestPaperView:
+    def test_excludes_target_name(self, labelled_corpus):
+        views = views_of_name(labelled_corpus, "X Y")
+        assert len(views) == 8
+        for view in views:
+            assert "X Y" not in view.coauthors
+
+    def test_pair_features_shape(self, labelled_corpus):
+        views = views_of_name(labelled_corpus, "X Y")
+        f = pair_features(views[0], views[1], labelled_corpus.venue_frequencies)
+        assert f.shape == (10,)
+        assert np.all(np.isfinite(f))
+
+    def test_pair_features_symmetry(self, labelled_corpus):
+        views = views_of_name(labelled_corpus, "X Y")
+        vf = labelled_corpus.venue_frequencies
+        np.testing.assert_allclose(
+            pair_features(views[0], views[1], vf),
+            pair_features(views[1], views[0], vf),
+        )
+
+
+class TestUnsupervisedBaselines:
+    @pytest.mark.parametrize("factory", UNSUPERVISED)
+    def test_clusters_cover_all_papers(self, factory, labelled_corpus):
+        clusters = factory().cluster_name(labelled_corpus, "X Y")
+        covered = set().union(*clusters.values()) if clusters else set()
+        assert covered == set(labelled_corpus.papers_of_name("X Y"))
+
+    @pytest.mark.parametrize("factory", UNSUPERVISED)
+    def test_unknown_name_empty(self, factory, labelled_corpus):
+        assert factory().cluster_name(labelled_corpus, "Nobody") == {}
+
+    @pytest.mark.parametrize("factory", UNSUPERVISED)
+    def test_single_paper_name(self, factory, small_corpus):
+        name = next(
+            n for n in small_corpus.names if len(small_corpus.papers_of_name(n)) == 1
+        )
+        clusters = factory().cluster_name(small_corpus, name)
+        assert len(clusters) == 1
+
+    def test_separable_homonym_split(self, labelled_corpus):
+        """The labelled fixture has two cleanly separated authors — every
+        coauthor-aware baseline must produce at least two clusters."""
+        for factory in (ANON, NetE, GHOST):
+            clusters = factory().cluster_name(labelled_corpus, "X Y")
+            assert len(clusters) >= 2, factory.__name__
+
+    def test_ghost_path_similarity(self, labelled_corpus):
+        views = views_of_name(labelled_corpus, "X Y")
+        S = path_similarity_matrix(views)
+        assert S.shape == (8, 8)
+        # papers 0,1 share coauthor 'P A' -> strong; papers 0,4 cross-author
+        assert S[0, 1] > S[0, 4]
+
+    def test_ghost_coauthor_graph(self, labelled_corpus):
+        adj = coauthor_graph(views_of_name(labelled_corpus, "X Y"))
+        assert "Q B" in adj["P A"]  # co-signed paper 3
+        assert "R C" not in adj["P A"]
+
+
+class TestSupervised:
+    @pytest.fixture(scope="class")
+    def trained(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=8)
+        train_names = [
+            n for n in ambiguous_names(small_corpus) if n not in set(td.names)
+        ][:20]
+        model = SupervisedPairwise("rf", seed=1).fit_names(small_corpus, train_names)
+        return model, td
+
+    def test_training_pairs_labelled(self, small_corpus):
+        names = ambiguous_names(small_corpus)[:5]
+        X, y = training_pairs_from_names(small_corpus, names)
+        assert X.shape[1] == 10
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_requires_fit(self, small_corpus):
+        with pytest.raises(RuntimeError):
+            SupervisedPairwise("rf").cluster_name(small_corpus, "x")
+
+    def test_unknown_kind(self):
+        from repro.baselines import make_classifier
+
+        with pytest.raises(ValueError):
+            make_classifier("svm")
+
+    def test_clusters_cover_papers(self, trained, small_corpus):
+        model, td = trained
+        name = td.names[0]
+        clusters = model.cluster_name(small_corpus, name)
+        covered = set().union(*clusters.values())
+        assert covered == set(small_corpus.papers_of_name(name))
+
+    def test_beats_random_on_testing_names(self, trained, small_corpus):
+        model, td = trained
+        truth = per_name_truth(td)
+        m = micro_metrics(predict_all(model, small_corpus, td.names), truth)
+        assert m.f1 > 0.4
+
+
+class TestPredictAll:
+    def test_runs_over_names(self, labelled_corpus):
+        out = predict_all(ANON(), labelled_corpus, ["X Y"])
+        assert set(out) == {"X Y"}

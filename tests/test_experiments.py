@@ -1,0 +1,72 @@
+"""Smoke tests for the experiment drivers and reporting (small configs)."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticConfig
+from repro.eval.experiments import (
+    make_context,
+    run_fig3,
+    run_fig5,
+    run_table2,
+    run_table4,
+    run_table6,
+)
+from repro.eval.reporting import (
+    render_fig3,
+    render_fig5,
+    render_metrics_table,
+    render_table4,
+    render_table6,
+)
+from repro.eval.metrics import PairwiseCounts
+
+SMALL = SyntheticConfig(
+    n_authors=500, n_papers=1200, name_pool_size=700, n_communities=40, seed=11
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context(n_names=10, config=SMALL)
+
+
+class TestDrivers:
+    def test_fig3(self, ctx):
+        result = run_fig3(ctx.corpus)
+        assert result.papers_per_name.slope < 0
+        assert result.pair_frequency.slope < 0
+        assert "slope" in render_fig3(result)
+
+    def test_table2(self, ctx):
+        result = run_table2(ctx.testing)
+        assert len(result.rows) == 10
+        assert result.total_authors >= 20
+
+    def test_table4(self, ctx):
+        result = run_table4(ctx)
+        assert result.gcn.recall >= result.scn.recall
+        rendered = render_table4(result)
+        assert "MicroF" in rendered
+
+    def test_table6(self, ctx):
+        rows = run_table6(ctx, stream_sizes=(20,))
+        assert rows[0].n_new_papers == 20
+        assert rows[0].avg_ms_per_paper > 0
+        assert "ms/paper" in render_table6(rows)
+
+    def test_fig5_small(self):
+        out = run_fig5(fractions=(0.5, 1.0), n_names=8, config=SMALL)
+        assert set(out) == {0.5, 1.0}
+        assert "Scale" in render_fig5(out)
+
+    def test_context_scale(self):
+        ctx_half = make_context(scale=0.5, n_names=5, config=SMALL)
+        assert len(ctx_half.corpus) < SMALL.n_papers
+
+
+class TestReporting:
+    def test_metrics_table(self):
+        table = {"A": PairwiseCounts(1, 1, 1, 1), "B": PairwiseCounts(2, 0, 0, 2)}
+        text = render_metrics_table(table)
+        assert "MicroF" in text and "A" in text and "B" in text
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,152 @@
+"""Tests for frequent-pattern mining: FP-growth vs the Apriori oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpm import FPTree, apriori, fpgrowth, frequent_pairs, pair_supports_by_item
+
+PAPER_DB = [
+    ("a", "b", "c", "d"),
+    ("a", "c", "d"),
+    ("a", "b", "c"),
+    ("a", "b", "c"),
+    ("b", "e"),
+    ("b", "e"),
+    ("b", "f"),
+    ("b", "g"),
+]
+
+
+class TestPaperExample:
+    """Figure 2's frequent 2-itemsets, verbatim."""
+
+    def test_pairs_match_figure2(self):
+        pairs = frequent_pairs(PAPER_DB, 2)
+        assert pairs == {
+            ("a", "b"): 3,
+            ("a", "c"): 4,
+            ("a", "d"): 2,
+            ("b", "c"): 3,
+            ("b", "e"): 2,
+            ("c", "d"): 2,
+        }
+
+    def test_fpgrowth_agrees_with_apriori(self):
+        assert fpgrowth(PAPER_DB, 2) == apriori(PAPER_DB, 2)
+
+    def test_max_size_truncation(self):
+        full = fpgrowth(PAPER_DB, 2)
+        pairs_only = fpgrowth(PAPER_DB, 2, max_size=2)
+        assert set(pairs_only) == {k for k in full if len(k) <= 2}
+
+    def test_triangle_abc_is_frequent(self):
+        triples = {k: v for k, v in fpgrowth(PAPER_DB, 2).items() if len(k) == 3}
+        assert triples[("a", "b", "c")] == 3
+
+
+class TestFPTree:
+    def test_empty_tree(self):
+        tree = FPTree([], min_support=1)
+        assert tree.is_empty
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            FPTree([("a",)], min_support=0)
+
+    def test_support_of(self):
+        tree = FPTree(PAPER_DB, 2)
+        assert tree.support_of("b") == 7
+        assert tree.support_of("g") == 0  # below threshold
+
+    def test_single_path_detection(self):
+        tree = FPTree([("a", "b"), ("a", "b"), ("a",)], 1)
+        path = tree.single_path()
+        assert path is not None
+        assert [item for item, _count in path] == ["a", "b"]
+
+    def test_conditional_tree_counts(self):
+        tree = FPTree(PAPER_DB, 2)
+        cond = tree.conditional_tree("d")
+        # d occurs with {a,c} twice
+        assert cond.support_of("a") == 2
+        assert cond.support_of("c") == 2
+
+    def test_header_threads_cover_all_nodes(self):
+        tree = FPTree(PAPER_DB, 2)
+        total = sum(n.count for n in tree.nodes_of("b"))
+        assert total == 7
+
+
+class TestFrequentPairs:
+    def test_duplicates_in_transaction_counted_once(self):
+        pairs = frequent_pairs([("a", "b", "a")], 1)
+        assert pairs == {("a", "b"): 1}
+
+    def test_support_threshold(self):
+        assert frequent_pairs(PAPER_DB, 5) == {}
+        assert ("a", "c") in frequent_pairs(PAPER_DB, 4)
+
+    def test_adjacency_view(self):
+        adj = pair_supports_by_item(frequent_pairs(PAPER_DB, 2))
+        assert adj["a"] == {"b": 3, "c": 4, "d": 2}
+        assert adj["e"] == {"b": 2}
+
+
+@st.composite
+def transaction_dbs(draw):
+    n_items = draw(st.integers(2, 7))
+    n_transactions = draw(st.integers(1, 25))
+    return [
+        tuple(
+            draw(
+                st.lists(
+                    st.integers(0, n_items - 1),
+                    min_size=1,
+                    max_size=min(5, n_items),
+                    unique=True,
+                )
+            )
+        )
+        for _ in range(n_transactions)
+    ]
+
+
+class TestProperties:
+    @given(db=transaction_dbs(), support=st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_fpgrowth_equals_apriori(self, db, support):
+        assert fpgrowth(db, support) == apriori(db, support)
+
+    @given(db=transaction_dbs(), support=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_support_antimonotone(self, db, support):
+        """Every subset of a frequent itemset is at least as frequent."""
+        frequent = fpgrowth(db, support)
+        for itemset, count in frequent.items():
+            for drop in range(len(itemset)):
+                subset = tuple(
+                    sorted(
+                        (x for i, x in enumerate(itemset) if i != drop),
+                        key=repr,
+                    )
+                )
+                if subset:
+                    assert frequent[subset] >= count
+
+    @given(db=transaction_dbs())
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_agree_with_general_miner(self, db):
+        pairs = frequent_pairs(db, 2)
+        general = {
+            k: v for k, v in fpgrowth(db, 2, max_size=2).items() if len(k) == 2
+        }
+        assert pairs == general
+
+    @given(db=transaction_dbs(), support=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_supports_are_true_counts(self, db, support):
+        frequent = fpgrowth(db, support)
+        for itemset, count in frequent.items():
+            actual = sum(1 for t in db if set(itemset) <= set(t))
+            assert actual == count

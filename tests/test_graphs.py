@@ -1,0 +1,214 @@
+"""Tests for the graph substrate: union-find, network, triangles, WL."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    CollaborationNetwork,
+    UnionFind,
+    ball,
+    coauthor_triangle_names,
+    count_triangles,
+    maximal_cliques_of_vertex,
+    normalized_wl_kernel,
+    triangles_of_vertex,
+    wl_feature_map,
+    wl_similarity,
+)
+
+
+class TestUnionFind:
+    def test_basic_union(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(3, 4)
+        assert uf.connected(0, 1)
+        assert not uf.connected(1, 2)
+        assert uf.n_components == 3
+
+    def test_groups(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 2)
+        groups = uf.groups()
+        assert sorted(map(sorted, groups.values())) == [[0, 2], [1], [3]]
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert len(uf) == 1
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transitivity_and_symmetry(self, edges):
+        uf = UnionFind(range(16))
+        for a, b in edges:
+            uf.union(a, b)
+        for a, b in edges:
+            assert uf.connected(a, b)
+            assert uf.connected(b, a)
+        # components partition the elements
+        groups = uf.groups()
+        members = sorted(x for g in groups.values() for x in g)
+        assert members == list(range(16))
+
+
+def triangle_net() -> CollaborationNetwork:
+    net = CollaborationNetwork()
+    a = net.add_vertex("a")
+    b = net.add_vertex("b")
+    c = net.add_vertex("c")
+    d = net.add_vertex("d")
+    net.add_edge(a, b, {0})
+    net.add_edge(a, c, {0})
+    net.add_edge(b, c, {0})
+    net.add_edge(c, d, {1})
+    return net
+
+
+class TestCollaborationNetwork:
+    def test_vertices_and_edges(self):
+        net = triangle_net()
+        assert len(net) == 4
+        assert net.n_edges == 4
+        assert net.degree(2) == 3
+        assert net.edge_papers(0, 1) == {0}
+        assert net.edge_papers(0, 3) == set()
+
+    def test_vertex_papers_accumulate(self):
+        net = triangle_net()
+        assert net.papers_of(2) == {0, 1}
+
+    def test_self_loop_rejected(self):
+        net = triangle_net()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 0, {9})
+
+    def test_name_index(self):
+        net = CollaborationNetwork()
+        v1 = net.add_vertex("x")
+        v2 = net.add_vertex("x")
+        assert net.vertices_of_name("x") == [v1, v2]
+        assert net.vertices_of_name("missing") == []
+
+    def test_isolated_vertices(self):
+        net = triangle_net()
+        v = net.add_vertex("lonely")
+        assert net.isolated_vertices() == [v]
+
+    def test_remove_isolated_vertex(self):
+        net = triangle_net()
+        v = net.add_vertex("lonely")
+        net.remove_isolated_vertex(v)
+        assert v not in net
+        assert net.vertices_of_name("lonely") == []
+
+    def test_remove_connected_vertex_rejected(self):
+        net = triangle_net()
+        with pytest.raises(ValueError):
+            net.remove_isolated_vertex(0)
+
+    def test_merged_same_name(self):
+        net = CollaborationNetwork()
+        x1 = net.add_vertex("x", papers=(0,))
+        x2 = net.add_vertex("x", papers=(1,))
+        y = net.add_vertex("y", papers=(0, 1))
+        net.add_edge(x1, y, {0})
+        net.add_edge(x2, y, {1})
+        uf = UnionFind([x1, x2, y])
+        uf.union(x1, x2)
+        merged = net.merged(uf)
+        assert len(merged) == 2
+        xm = merged.vertices_of_name("x")[0]
+        assert merged.papers_of(xm) == {0, 1}
+        assert merged.n_edges == 1
+        ym = merged.vertices_of_name("y")[0]
+        assert merged.edge_papers(xm, ym) == {0, 1}
+
+    def test_merged_cross_name_rejected(self):
+        net = CollaborationNetwork()
+        a = net.add_vertex("a")
+        b = net.add_vertex("b")
+        uf = UnionFind([a, b])
+        uf.union(a, b)
+        with pytest.raises(ValueError, match="illegal merge"):
+            net.merged(uf)
+
+
+class TestTriangles:
+    def test_triangle_enumeration(self):
+        net = triangle_net()
+        assert count_triangles(net) == 1
+        assert triangles_of_vertex(net, 0) == {frozenset({0, 1, 2})}
+        assert triangles_of_vertex(net, 3) == set()
+
+    def test_coauthor_triangle_names(self):
+        net = triangle_net()
+        assert coauthor_triangle_names(net, 0) == {frozenset({"b", "c"})}
+
+    def test_maximal_cliques(self):
+        net = triangle_net()
+        cliques = maximal_cliques_of_vertex(net, 0)
+        assert frozenset({0, 1, 2}) in cliques
+
+
+class TestWLKernel:
+    def test_ball_radius(self):
+        net = triangle_net()
+        assert ball(net, 3, 0) == {3}
+        assert ball(net, 3, 1) == {2, 3}
+        assert ball(net, 3, 2) == {0, 1, 2, 3}
+
+    def test_normalized_kernel_bounds(self):
+        net = triangle_net()
+        for u in range(4):
+            for v in range(4):
+                k = wl_similarity(net, u, v)
+                assert 0.0 <= k <= 1.0 + 1e-9
+
+    def test_self_similarity_is_one(self):
+        net = triangle_net()
+        phi = wl_feature_map(net, 0, h=2)
+        assert normalized_wl_kernel(phi, phi) == pytest.approx(1.0)
+
+    def test_isolated_vertex_similarity_zero(self):
+        net = triangle_net()
+        v = net.add_vertex("lonely")
+        assert wl_similarity(net, v, 0) == 0.0
+
+    def test_identical_neighbourhoods_score_high(self):
+        net = CollaborationNetwork()
+        # two 'x' vertices with identical co-author names p, q
+        x1 = net.add_vertex("x")
+        x2 = net.add_vertex("x")
+        for other in ("p", "q"):
+            o1 = net.add_vertex(other)
+            o2 = net.add_vertex(other)
+            net.add_edge(x1, o1, {0})
+            net.add_edge(x2, o2, {1})
+        assert wl_similarity(net, x1, x2, h=1) == pytest.approx(1.0)
+
+    def test_disjoint_neighbourhoods_score_low(self):
+        net = CollaborationNetwork()
+        x1 = net.add_vertex("x")
+        x2 = net.add_vertex("x")
+        p = net.add_vertex("p")
+        q = net.add_vertex("q")
+        net.add_edge(x1, p, {0})
+        net.add_edge(x2, q, {1})
+        assert wl_similarity(net, x1, x2, h=1) < 0.5
+
+    def test_h_zero_counts_names_only(self):
+        net = triangle_net()
+        phi = wl_feature_map(net, 0, h=0)
+        assert phi == {}  # radius-0 ball has only the anchor, excluded
+
+    def test_negative_h_rejected(self):
+        net = triangle_net()
+        with pytest.raises(ValueError):
+            wl_feature_map(net, 0, h=-1)

@@ -1,0 +1,108 @@
+"""Tests for incremental single-paper disambiguation (Section V-E)."""
+
+import pytest
+
+from repro.core import IUAD, IUADConfig, IncrementalDisambiguator
+from repro.data import Corpus, Paper, build_testing_dataset
+from repro.data.testing import per_name_truth, split_for_incremental
+from repro.eval import micro_metrics
+
+
+@pytest.fixture(scope="module")
+def base_setup(small_corpus):
+    td = build_testing_dataset(small_corpus, n_names=12)
+    base_pids, new_pids = split_for_incremental(td, 40)
+    new_set = set(new_pids)
+    base_corpus = Corpus(p for p in small_corpus if p.pid not in new_set)
+    iuad = IUAD(IUADConfig()).fit(base_corpus, names=td.names)
+    return iuad, td, new_pids, small_corpus
+
+
+class TestIncremental:
+    def test_requires_fitted_iuad(self):
+        with pytest.raises(ValueError):
+            IncrementalDisambiguator(IUAD())
+
+    def test_streaming_assigns_every_mention(self, base_setup):
+        iuad, _td, new_pids, full_corpus = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        paper = full_corpus[new_pids[0]]
+        assignments = inc.add_paper(paper)
+        assert len(assignments) == len(paper.authors)
+        for assignment in assignments:
+            assert paper.pid in iuad.gcn_.papers_of(assignment.vid)
+            assert iuad.gcn_.name_of(assignment.vid) == assignment.name
+
+    def test_new_name_creates_vertex(self, base_setup):
+        iuad, _td, _new_pids, _full = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        paper = Paper(
+            pid=10**7,
+            authors=("Brand New Person",),
+            title="entirely new topic",
+            venue="NEW-VENUE",
+            year=2021,
+        )
+        (assignment,) = inc.add_paper(paper)
+        assert assignment.created
+        assert assignment.score == float("-inf")
+
+    def test_collaborative_relations_recovered(self, base_setup):
+        iuad, _td, _new, _full = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        paper = Paper(
+            pid=10**7 + 1,
+            authors=("New A", "New B"),
+            title="joint work",
+            venue="NEW-VENUE",
+            year=2021,
+        )
+        a, b = inc.add_paper(paper)
+        assert iuad.gcn_.has_edge(a.vid, b.vid)
+
+    def test_report_accumulates(self, base_setup):
+        iuad, _td, new_pids, full_corpus = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        for pid in new_pids[1:6]:
+            inc.add_paper(full_corpus[pid])
+        assert inc.report.n_papers == 5
+        assert inc.report.n_mentions >= 5
+        assert inc.report.avg_ms_per_paper > 0.0
+        assert inc.report.n_attached + inc.report.n_created == inc.report.n_mentions
+
+
+class TestIncrementalQuality:
+    def test_streaming_does_not_collapse_quality(self, small_corpus):
+        """Table VI shape: metrics after streaming stay near the base run."""
+        td = build_testing_dataset(small_corpus, n_names=12)
+        truth = per_name_truth(td)
+        _base, new_pids = split_for_incremental(td, 30)
+        new_set = set(new_pids)
+        base_corpus = Corpus(p for p in small_corpus if p.pid not in new_set)
+        iuad = IUAD(IUADConfig()).fit(base_corpus, names=td.names)
+        base_truth = {
+            n: {pid: a for pid, a in t.items() if pid not in new_set}
+            for n, t in truth.items()
+        }
+        before = micro_metrics(
+            {n: iuad.clusters_of_name(n) for n in td.names}, base_truth
+        )
+        inc = IncrementalDisambiguator(iuad)
+        for pid in new_pids:
+            inc.add_paper(small_corpus[pid])
+        after = micro_metrics(
+            {n: iuad.clusters_of_name(n) for n in td.names}, truth
+        )
+        assert after.f1 >= before.f1 - 0.1
+
+    def test_incremental_is_fast(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=12)
+        _base, new_pids = split_for_incremental(td, 20)
+        new_set = set(new_pids)
+        base_corpus = Corpus(p for p in small_corpus if p.pid not in new_set)
+        iuad = IUAD(IUADConfig()).fit(base_corpus, names=td.names)
+        inc = IncrementalDisambiguator(iuad)
+        for pid in new_pids:
+            inc.add_paper(small_corpus[pid])
+        # paper reports < 50 ms/paper on full DBLP; our corpus is far smaller
+        assert inc.report.avg_ms_per_paper < 200.0

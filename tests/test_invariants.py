@@ -1,0 +1,113 @@
+"""Cross-module invariants: determinism, kernel bounds, merge algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IUAD, IUADConfig
+from repro.data import build_testing_dataset
+from repro.graphs import CollaborationNetwork, UnionFind, wl_feature_map, wl_kernel
+from repro.model import MatchMixture, match_scores
+
+
+class TestDeterminism:
+    def test_iuad_is_deterministic(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=5)
+        a = IUAD(IUADConfig()).fit(small_corpus, names=td.names)
+        b = IUAD(IUADConfig()).fit(small_corpus, names=td.names)
+        for name in td.names:
+            clusters_a = sorted(map(sorted, a.clusters_of_name(name).values()))
+            clusters_b = sorted(map(sorted, b.clusters_of_name(name).values()))
+            assert clusters_a == clusters_b
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(2, 10))
+    net = CollaborationNetwork()
+    names = [f"n{draw(st.integers(0, 4))}" for _ in range(n)]
+    for name in names:
+        net.add_vertex(name)
+    n_edges = draw(st.integers(0, 2 * n))
+    pid = 0
+    for _ in range(n_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            net.add_edge(u, v, {pid})
+            pid += 1
+    return net
+
+
+class TestWLKernelProperties:
+    @given(net=random_networks(), h=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_cauchy_schwarz(self, net, h):
+        """K(u,v)^2 <= K(u,u) * K(v,v) for every vertex pair."""
+        phis = {v.vid: wl_feature_map(net, v.vid, h) for v in net}
+        vids = list(phis)
+        for u in vids[:4]:
+            for v in vids[:4]:
+                kuv = wl_kernel(phis[u], phis[v])
+                assert kuv**2 <= wl_kernel(phis[u], phis[u]) * wl_kernel(
+                    phis[v], phis[v]
+                ) + 1e-9
+
+    @given(net=random_networks())
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_symmetry(self, net):
+        phis = {v.vid: wl_feature_map(net, v.vid, 2) for v in net}
+        vids = list(phis)[:5]
+        for u in vids:
+            for v in vids:
+                assert wl_kernel(phis[u], phis[v]) == wl_kernel(phis[v], phis[u])
+
+
+class TestMergeAlgebra:
+    def test_merged_with_identity_union_preserves_structure(self):
+        net = CollaborationNetwork()
+        a = net.add_vertex("a", papers=(0,))
+        b = net.add_vertex("b", papers=(0,))
+        net.add_edge(a, b, {0})
+        out = net.merged(UnionFind([a, b]))
+        assert len(out) == 2
+        assert out.n_edges == 1
+        assert out.papers_of(0) == {0}
+
+    def test_merged_is_idempotent(self):
+        net = CollaborationNetwork()
+        x1 = net.add_vertex("x", papers=(0,))
+        x2 = net.add_vertex("x", papers=(1,))
+        y = net.add_vertex("y", papers=(0, 1))
+        net.add_edge(x1, y, {0})
+        net.add_edge(x2, y, {1})
+        uf = UnionFind([x1, x2, y])
+        uf.union(x1, x2)
+        once = net.merged(uf)
+        twice = once.merged(UnionFind(v.vid for v in once))
+        assert len(once) == len(twice)
+        assert once.n_edges == twice.n_edges
+
+
+class TestScoreProperties:
+    def test_scores_shift_with_prior(self):
+        rng = np.random.default_rng(0)
+        X = np.abs(rng.normal(0.3, 0.2, (50, 6)))
+        model = MatchMixture()
+        model.fit(X, max_iterations=5)
+        base = match_scores(model, X)
+        model.prior_match = min(model.prior_match * 2, 0.99)
+        higher = match_scores(model, X)
+        assert np.all(higher >= base - 1e-9)
+
+    def test_scores_finite_on_extreme_inputs(self):
+        rng = np.random.default_rng(1)
+        X = np.abs(rng.normal(0.3, 0.2, (50, 6)))
+        model = MatchMixture()
+        model.fit(X, max_iterations=5)
+        extreme = np.array(
+            [[0.0] * 6, [1e6] * 6, [0.0, 1e6, -1.0, 0.0, 1e6, 0.0]]
+        )
+        scores = match_scores(model, extreme)
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,147 @@
+"""Integration tests for the full IUAD pipeline (Algorithm 1)."""
+
+import pytest
+
+from repro.core import IUAD, IUADConfig, disambiguate
+from repro.core.balance import split_prolific_vertices
+from repro.core.candidates import candidate_pairs_of_name, sample_training_pairs
+from repro.data import build_testing_dataset
+from repro.data.testing import per_name_truth
+from repro.eval import micro_metrics
+from repro.graphs import build_scn
+
+
+@pytest.fixture(scope="module")
+def fitted(small_corpus):
+    td = build_testing_dataset(small_corpus, n_names=15)
+    iuad = IUAD(IUADConfig()).fit(small_corpus, names=td.names)
+    return iuad, td
+
+
+class TestFit:
+    def test_report_populated(self, fitted):
+        iuad, _td = fitted
+        report = iuad.report_
+        assert report is not None
+        assert report.scn.n_vertices == len(iuad.scn_)
+        assert report.gcn_vertices == len(iuad.gcn_)
+        assert report.gcn_vertices <= report.scn.n_vertices
+        assert report.stage1_seconds > 0 and report.stage2_seconds > 0
+
+    def test_gcn_never_merges_across_names(self, fitted):
+        iuad, _td = fitted
+        for vertex in iuad.gcn_:
+            for pid in vertex.papers:
+                assert vertex.name in iuad.corpus_[pid].authors
+
+    def test_stage2_improves_recall_at_small_precision_cost(self, fitted):
+        """The Table IV shape: recall jumps, precision holds (mostly)."""
+        iuad, td = fitted
+        truth = per_name_truth(td)
+        scn_m = micro_metrics(
+            {n: iuad.scn_clusters_of_name(n) for n in td.names}, truth
+        )
+        gcn_m = micro_metrics(
+            {n: iuad.clusters_of_name(n) for n in td.names}, truth
+        )
+        assert gcn_m.recall >= scn_m.recall
+        assert gcn_m.f1 >= scn_m.f1
+        assert scn_m.precision >= 0.75
+
+    def test_unfitted_accessors_raise(self):
+        iuad = IUAD()
+        with pytest.raises(RuntimeError):
+            iuad.clusters_of_name("x")
+        with pytest.raises(RuntimeError):
+            iuad.scn_clusters_of_name("x")
+
+    def test_disambiguate_convenience(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=3)
+        iuad = disambiguate(small_corpus, names=td.names)
+        assert iuad.gcn_ is not None
+
+    def test_merge_rounds_one_is_weaker(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=10)
+        truth = per_name_truth(td)
+        one = IUAD(IUADConfig(merge_rounds=1)).fit(small_corpus, names=td.names)
+        two = IUAD(IUADConfig(merge_rounds=2)).fit(small_corpus, names=td.names)
+        r1 = micro_metrics(
+            {n: one.clusters_of_name(n) for n in td.names}, truth
+        ).recall
+        r2 = micro_metrics(
+            {n: two.clusters_of_name(n) for n in td.names}, truth
+        ).recall
+        assert r2 >= r1
+
+
+class TestCandidates:
+    def test_pairs_of_name(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        name = next(n for n in net.names if len(net.vertices_of_name(n)) >= 3)
+        pairs = candidate_pairs_of_name(net, name)
+        k = len(net.vertices_of_name(name))
+        assert len(pairs) == k * (k - 1) // 2
+        assert all(u < v for u, v in pairs)
+
+    def test_sampling_respects_floor(self):
+        pairs = [(i, i + 1) for i in range(100)]
+        sampled = sample_training_pairs(pairs, 0.1, min_pairs=30, seed=0)
+        assert len(sampled) == 30
+
+    def test_sampling_rate(self):
+        pairs = [(i, i + 1) for i in range(1000)]
+        sampled = sample_training_pairs(pairs, 0.1, min_pairs=1, seed=0)
+        assert len(sampled) == 100
+
+    def test_sampling_all_when_few(self):
+        pairs = [(0, 1)]
+        assert sample_training_pairs(pairs, 0.1, min_pairs=10, seed=0) == pairs
+
+    def test_sampling_validation(self):
+        with pytest.raises(ValueError):
+            sample_training_pairs([], 0.0, 1, 0)
+
+
+class TestBalanceSplit:
+    def test_split_preserves_papers(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        result = split_prolific_vertices(net, min_papers=4, max_vertices=20, seed=1)
+        for vid, halves in result.mapping.items():
+            original = net.papers_of(vid)
+            combined = set()
+            for half in halves:
+                combined |= result.network.papers_of(half)
+            assert combined == original
+
+    def test_split_halves_share_name_and_are_disconnected(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        result = split_prolific_vertices(net, min_papers=4, max_vertices=20, seed=1)
+        assert result.matched_pairs
+        for u, v in result.matched_pairs:
+            assert result.network.name_of(u) == result.network.name_of(v)
+            assert not result.network.has_edge(u, v)
+            assert result.network.papers_of(u)
+            assert result.network.papers_of(v)
+
+    def test_max_vertices_cap(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        result = split_prolific_vertices(net, min_papers=4, max_vertices=5, seed=1)
+        assert len(result.matched_pairs) <= 5
+
+
+class TestConfigValidation:
+    def test_eta(self):
+        with pytest.raises(ValueError):
+            IUADConfig(eta=0)
+
+    def test_sample_rate(self):
+        with pytest.raises(ValueError):
+            IUADConfig(sample_rate=0.0)
+
+    def test_families_width(self):
+        with pytest.raises(ValueError):
+            IUADConfig(families=("gaussian",))
+
+    def test_split_min(self):
+        with pytest.raises(ValueError):
+            IUADConfig(split_min_papers=1)

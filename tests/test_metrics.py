@@ -1,0 +1,113 @@
+"""Tests for pairwise micro metrics (+ hypothesis invariants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import PairwiseCounts, micro_metrics, pairwise_counts
+
+
+class TestPairwiseCounts:
+    def test_perfect_clustering(self):
+        truth = {0: 1, 1: 1, 2: 2}
+        predicted = {10: [0, 1], 20: [2]}
+        c = pairwise_counts(predicted, truth)
+        assert (c.tp, c.fp, c.fn, c.tn) == (1, 0, 0, 2)
+        assert c.precision == c.recall == c.f1 == c.accuracy == 1.0
+
+    def test_everything_in_one_cluster(self):
+        truth = {0: 1, 1: 1, 2: 2}
+        c = pairwise_counts({0: [0, 1, 2]}, truth)
+        assert c.tp == 1 and c.fp == 2 and c.fn == 0 and c.tn == 0
+        assert c.recall == 1.0
+        assert c.precision == pytest.approx(1 / 3)
+
+    def test_all_singletons(self):
+        truth = {0: 1, 1: 1, 2: 2}
+        c = pairwise_counts({i: [pid] for i, pid in enumerate(truth)}, truth)
+        assert c.tp == 0 and c.fn == 1 and c.fp == 0 and c.tn == 2
+        assert c.recall == 0.0
+
+    def test_missing_papers_count_as_singletons(self):
+        truth = {0: 1, 1: 1}
+        c = pairwise_counts({}, truth)
+        assert c.fn == 1 and c.tp == 0
+
+    def test_extra_papers_ignored(self):
+        truth = {0: 1}
+        c = pairwise_counts({0: [0, 99]}, truth)
+        assert c.total == 0  # a single paper has no pairs
+
+    def test_addition(self):
+        a = PairwiseCounts(1, 2, 3, 4)
+        b = PairwiseCounts(10, 20, 30, 40)
+        s = a + b
+        assert (s.tp, s.fp, s.fn, s.tn) == (11, 22, 33, 44)
+
+    def test_empty_counts_are_zero(self):
+        c = PairwiseCounts()
+        assert c.accuracy == c.precision == c.recall == c.f1 == 0.0
+
+    def test_as_row(self):
+        c = PairwiseCounts(1, 1, 1, 1)
+        a, p, r, f = c.as_row()
+        assert a == 0.5 and p == 0.5 and r == 0.5 and f == 0.5
+
+
+class TestMicroMetrics:
+    def test_accumulates_across_names(self):
+        truth = {
+            "x": {0: 1, 1: 1},
+            "y": {2: 5, 3: 6},
+        }
+        predicted = {
+            "x": {0: [0, 1]},
+            "y": {0: [2, 3]},
+        }
+        c = micro_metrics(predicted, truth)
+        assert c.tp == 1 and c.fp == 1
+
+    def test_missing_name_prediction(self):
+        truth = {"x": {0: 1, 1: 1}}
+        c = micro_metrics({}, truth)
+        assert c.fn == 1
+
+
+@st.composite
+def labelled_clusterings(draw):
+    n = draw(st.integers(2, 20))
+    truth = {pid: draw(st.integers(0, 4)) for pid in range(n)}
+    labels = {pid: draw(st.integers(0, 4)) for pid in range(n)}
+    predicted: dict[int, list[int]] = {}
+    for pid, lab in labels.items():
+        predicted.setdefault(lab, []).append(pid)
+    return predicted, truth
+
+
+class TestProperties:
+    @given(data=labelled_clusterings())
+    @settings(max_examples=80, deadline=None)
+    def test_counts_partition_all_pairs(self, data):
+        predicted, truth = data
+        c = pairwise_counts(predicted, truth)
+        n = len(truth)
+        assert c.total == n * (n - 1) // 2
+        assert min(c.tp, c.fp, c.fn, c.tn) >= 0
+
+    @given(data=labelled_clusterings())
+    @settings(max_examples=80, deadline=None)
+    def test_metrics_bounded(self, data):
+        predicted, truth = data
+        c = pairwise_counts(predicted, truth)
+        for value in c.as_row():
+            assert 0.0 <= value <= 1.0
+
+    @given(data=labelled_clusterings())
+    @settings(max_examples=50, deadline=None)
+    def test_truth_as_prediction_is_perfect(self, data):
+        _predicted, truth = data
+        perfect: dict[int, list[int]] = {}
+        for pid, author in truth.items():
+            perfect.setdefault(author, []).append(pid)
+        c = pairwise_counts(perfect, truth)
+        assert c.fp == 0 and c.fn == 0

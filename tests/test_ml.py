@@ -1,0 +1,161 @@
+"""Tests for the from-scratch ML substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial.distance import cdist
+
+from repro.ml import (
+    AdaBoostClassifier,
+    AffinityPropagation,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+    XGBoostClassifier,
+    hac_cluster,
+    hdbscan_lite,
+)
+
+
+def blobs(n=150, gap=3.0, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, d)), rng.normal(gap, 1, (n, d))])
+    y = np.array([0] * n + [1] * n)
+    idx = rng.permutation(2 * n)
+    return X[idx], y[idx]
+
+
+ALL_CLASSIFIERS = [
+    lambda: DecisionTreeClassifier(max_depth=5),
+    lambda: RandomForestClassifier(n_estimators=15),
+    lambda: AdaBoostClassifier(n_estimators=25),
+    lambda: GradientBoostingClassifier(n_estimators=25),
+    lambda: XGBoostClassifier(n_estimators=25),
+]
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_separable_blobs(self, factory):
+        X, y = blobs()
+        model = factory().fit(X[:200], y[:200])
+        assert (model.predict(X[200:]) == y[200:]).mean() >= 0.9
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_proba_shape_and_range(self, factory):
+        X, y = blobs(n=60)
+        model = factory().fit(X, y)
+        proba = model.predict_proba(X[:10])
+        assert proba.shape == (10, 2)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_tree_constant_labels(self):
+        X = np.zeros((10, 3))
+        y = np.ones(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == 1).all()
+
+    def test_tree_respects_max_depth(self):
+        X, y = blobs(n=100)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert (deep.predict(X) == y).mean() >= (stump.predict(X) == y).mean()
+
+    def test_tree_sample_weights_shift_prediction(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        w = np.array([100.0, 1.0])
+        tree = DecisionTreeClassifier(max_depth=0)
+        tree.fit(X, y, sample_weight=w)
+        assert tree.predict_proba(np.array([[0.5]]))[0, 0] > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_binary_validation(self):
+        X, y = blobs(n=20)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(X, y + 5)
+        with pytest.raises(ValueError):
+            XGBoostClassifier().fit(X, y + 5)
+
+    def test_xor_needs_depth(self):
+        """Depth-2 trees solve XOR; stumps cannot."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert (deep.predict(X) == y).mean() > 0.95
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert (stump.predict(X) == y).mean() < 0.7
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float) * 3.0
+        reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        pred = reg.predict(X)
+        assert abs(pred[10] - 0.0) < 0.2
+        assert abs(pred[90] - 3.0) < 0.2
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_prediction_within_label_range(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        reg = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        pred = reg.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestClustering:
+    def test_hac_two_blobs(self):
+        rng = np.random.default_rng(1)
+        pts = np.vstack([rng.normal(0, 0.2, (15, 2)), rng.normal(4, 0.2, (15, 2))])
+        labels = hac_cluster(cdist(pts, pts), threshold=1.5)
+        assert len(set(labels)) == 2
+        assert len(set(labels[:15])) == 1
+
+    def test_hac_single_point(self):
+        assert hac_cluster(np.zeros((1, 1)), 1.0).tolist() == [0]
+
+    def test_ap_two_blobs(self):
+        rng = np.random.default_rng(2)
+        pts = np.vstack([rng.normal(0, 0.2, (12, 2)), rng.normal(5, 0.2, (12, 2))])
+        labels = AffinityPropagation().fit_predict(-cdist(pts, pts))
+        assert len(set(labels[:12])) == 1
+        assert set(labels[:12]) != set(labels[12:])
+
+    def test_ap_damping_validation(self):
+        with pytest.raises(ValueError):
+            AffinityPropagation(damping=0.3)
+
+    def test_hdbscan_lite_separates_blobs(self):
+        rng = np.random.default_rng(3)
+        pts = np.vstack([rng.normal(0, 0.2, (20, 2)), rng.normal(6, 0.2, (20, 2))])
+        labels = hdbscan_lite(cdist(pts, pts), min_cluster_size=3, cut_quantile=0.95)
+        # each blob has one dominant cluster (a stray noise singleton is
+        # fine), and the dominant clusters differ
+        top_a = np.bincount(labels[:20]).argmax()
+        top_b = np.bincount(labels[20:]).argmax()
+        assert (labels[:20] == top_a).sum() >= 18
+        assert (labels[20:] == top_b).sum() >= 18
+        assert top_a != top_b
+
+    def test_hdbscan_lite_single_point(self):
+        assert hdbscan_lite(np.zeros((1, 1))).tolist() == [0]
+
+    def test_hdbscan_small_groups_become_noise_singletons(self):
+        rng = np.random.default_rng(4)
+        pts = np.vstack(
+            [rng.normal(0, 0.1, (10, 2)), np.array([[50.0, 50.0]])]
+        )
+        labels = hdbscan_lite(cdist(pts, pts), min_cluster_size=3)
+        assert labels[-1] not in set(labels[:10])

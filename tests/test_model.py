@@ -1,0 +1,213 @@
+"""Tests for the exponential-family mixture, EM, and scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    DEFAULT_FAMILIES,
+    Exponential,
+    Gaussian,
+    MatchMixture,
+    Multinomial,
+    ZeroInflatedExponential,
+    decide,
+    make_component,
+    match_score,
+    match_scores,
+)
+
+
+class TestGaussian:
+    def test_weighted_mle(self):
+        g = Gaussian()
+        x = np.array([0.0, 2.0, 4.0])
+        w = np.array([1.0, 1.0, 2.0])
+        g.fit(x, w)
+        assert g.mu == pytest.approx(2.5)
+        # weighted variance: (1*6.25 + 1*0.25 + 2*2.25)/4 = 2.75
+        assert g.sigma**2 == pytest.approx(2.75)
+
+    def test_sigma_floor(self):
+        g = Gaussian()
+        g.fit(np.array([1.0, 1.0]), np.ones(2))
+        assert g.sigma > 0
+
+    def test_log_pdf_peak_at_mean(self):
+        g = Gaussian(mu=1.0, sigma=0.5)
+        vals = g.log_pdf(np.array([0.0, 1.0, 2.0]))
+        assert vals[1] > vals[0] and vals[1] > vals[2]
+
+
+class TestExponential:
+    def test_mle(self):
+        e = Exponential()
+        e.fit(np.array([1.0, 3.0]), np.ones(2))
+        assert e.rate == pytest.approx(0.5)
+
+    def test_all_zero_capped(self):
+        e = Exponential()
+        e.fit(np.zeros(5), np.ones(5))
+        assert np.isfinite(e.log_pdf(np.array([0.0]))[0])
+
+
+class TestZeroInflatedExponential:
+    def test_zero_mass_estimate(self):
+        z = ZeroInflatedExponential()
+        x = np.array([0.0, 0.0, 0.0, 1.0, 2.0])
+        z.fit(x, np.ones(5))
+        assert z.zero_mass == pytest.approx(0.6)
+        assert z.rate == pytest.approx(1.0 / 1.5)
+
+    def test_log_pdf_split(self):
+        z = ZeroInflatedExponential(zero_mass=0.5, rate=2.0)
+        vals = z.log_pdf(np.array([0.0, 1.0]))
+        assert vals[0] == pytest.approx(np.log(0.5))
+        assert vals[1] == pytest.approx(np.log(0.5) + np.log(2.0) - 2.0)
+
+    def test_weighted_zero_mass(self):
+        z = ZeroInflatedExponential()
+        x = np.array([0.0, 5.0])
+        z.fit(x, np.array([3.0, 1.0]))
+        assert z.zero_mass == pytest.approx(0.75)
+
+
+class TestMultinomial:
+    def test_bins_and_fit(self):
+        m = Multinomial(n_bins=4, lo=0.0, hi=1.0, smoothing=0.0)
+        x = np.array([0.1, 0.1, 0.9])
+        m.fit(x, np.ones(3))
+        assert m.probs[0] == pytest.approx(2 / 3)
+        assert m.probs[3] == pytest.approx(1 / 3)
+
+    def test_clipping(self):
+        m = Multinomial(n_bins=4)
+        assert m.bin_of(np.array([-5.0]))[0] == 0
+        assert m.bin_of(np.array([5.0]))[0] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Multinomial(n_bins=1)
+        with pytest.raises(ValueError):
+            Multinomial(lo=1.0, hi=0.0)
+
+
+class TestFactory:
+    def test_all_families(self):
+        for family in ("gaussian", "exponential", "zi_exponential", "multinomial"):
+            assert make_component(family) is not None
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            make_component("pareto")
+
+
+def two_class_data(n_m=80, n_u=420, seed=0):
+    rng = np.random.default_rng(seed)
+    m = np.column_stack(
+        [
+            rng.exponential(0.6, n_m),
+            rng.exponential(0.9, n_m),
+            rng.normal(0.7, 0.15, n_m),
+            rng.exponential(0.5, n_m),
+            rng.exponential(1.3, n_m),
+            rng.exponential(0.8, n_m),
+        ]
+    )
+    u = np.column_stack(
+        [
+            rng.exponential(0.05, n_u) * rng.integers(0, 2, n_u),
+            rng.exponential(0.06, n_u) * rng.integers(0, 2, n_u),
+            rng.normal(0.1, 0.2, n_u),
+            rng.exponential(0.04, n_u) * rng.integers(0, 2, n_u),
+            rng.exponential(0.1, n_u) * rng.integers(0, 2, n_u),
+            rng.exponential(0.05, n_u) * rng.integers(0, 2, n_u),
+        ]
+    )
+    X = np.vstack([m, u])
+    y = np.array([1] * n_m + [0] * n_u)
+    return X, y
+
+
+class TestMixtureEM:
+    def test_monotone_log_likelihood(self):
+        X, _ = two_class_data()
+        model = MatchMixture()
+        report = model.fit(X)
+        lls = report.log_likelihoods
+        assert all(b >= a - 1e-6 for a, b in zip(lls, lls[1:]))
+
+    def test_recovers_separable_classes(self):
+        X, y = two_class_data()
+        model = MatchMixture()
+        model.fit(X)
+        scores = match_scores(model, X)
+        pred = scores >= 0
+        precision = (pred & (y == 1)).sum() / max(pred.sum(), 1)
+        recall = (pred & (y == 1)).sum() / (y == 1).sum()
+        assert precision > 0.85 and recall > 0.85
+
+    def test_prior_estimate_close(self):
+        X, y = two_class_data(n_m=100, n_u=400)
+        model = MatchMixture()
+        model.fit(X)
+        assert model.prior_match == pytest.approx(0.2, abs=0.08)
+
+    def test_orientation_invariant_to_seed_flip(self):
+        """Even with an adversarial warm start, M ends as the
+        high-similarity component."""
+        X, y = two_class_data()
+        model = MatchMixture()
+        flipped = np.where(y == 1, 0.05, 0.95)  # wrong-way initialisation
+        model.fit(X, initial_responsibilities=flipped)
+        scores = match_scores(model, X)
+        assert scores[y == 1].mean() > scores[y == 0].mean()
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            MatchMixture().fit(np.zeros((0, 6)))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            MatchMixture().fit(np.zeros((5, 3)))
+
+    def test_bad_initial_resp_shape_rejected(self):
+        X, _ = two_class_data(n_m=10, n_u=10)
+        with pytest.raises(ValueError):
+            MatchMixture().fit(X, initial_responsibilities=np.ones(3))
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_responsibilities_are_probabilities(self, seed):
+        X, _ = two_class_data(seed=seed)
+        model = MatchMixture()
+        model.fit(X, max_iterations=10)
+        resp = model.responsibilities(X)
+        assert np.all(resp >= 0.0) and np.all(resp <= 1.0)
+
+
+class TestScoring:
+    def test_scores_and_decide_consistent(self):
+        X, _ = two_class_data()
+        model = MatchMixture()
+        model.fit(X)
+        scores = match_scores(model, X)
+        merged = decide(model, X, delta=0.0)
+        np.testing.assert_array_equal(merged, scores >= 0.0)
+
+    def test_single_pair_score(self):
+        X, _ = two_class_data()
+        model = MatchMixture()
+        model.fit(X)
+        s = match_score(model, X[0])
+        assert s == pytest.approx(match_scores(model, X[:1])[0])
+
+    def test_higher_delta_merges_fewer(self):
+        X, _ = two_class_data()
+        model = MatchMixture()
+        model.fit(X)
+        assert decide(model, X, 5.0).sum() <= decide(model, X, -5.0).sum()
+
+    def test_default_families_length(self):
+        assert len(DEFAULT_FAMILIES) == 6

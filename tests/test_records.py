@@ -1,0 +1,137 @@
+"""Unit tests for the record model (Paper, Corpus, CorpusStats)."""
+
+import pytest
+
+from repro.data.records import AuthorRef, Corpus, CorpusStats, Paper
+
+
+def make_paper(pid=0, authors=("A", "B"), ids=None):
+    return Paper(
+        pid=pid,
+        authors=tuple(authors),
+        title="a title",
+        venue="V",
+        year=2000,
+        author_ids=ids,
+    )
+
+
+class TestPaper:
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate names"):
+            make_paper(authors=("A", "A"))
+
+    def test_rejects_mismatched_label_length(self):
+        with pytest.raises(ValueError, match="author_ids length"):
+            make_paper(ids=(1,))
+
+    def test_labelled_flag(self):
+        assert not make_paper().labelled
+        assert make_paper(ids=(1, 2)).labelled
+
+    def test_author_id_of(self):
+        paper = make_paper(ids=(7, 9))
+        assert paper.author_id_of("A") == 7
+        assert paper.author_id_of("B") == 9
+
+    def test_author_id_of_unlabelled_raises(self):
+        with pytest.raises(ValueError, match="no ground-truth"):
+            make_paper().author_id_of("A")
+
+    def test_json_roundtrip(self):
+        paper = make_paper(ids=(1, 2))
+        assert Paper.from_json(paper.to_json()) == paper
+
+    def test_json_roundtrip_unlabelled(self):
+        paper = make_paper()
+        restored = Paper.from_json(paper.to_json())
+        assert restored == paper
+        assert restored.author_ids is None
+
+
+class TestCorpus:
+    def test_indexes(self):
+        corpus = Corpus([make_paper(0), make_paper(1, authors=("A", "C"))])
+        assert len(corpus) == 2
+        assert sorted(corpus.names) == ["A", "B", "C"]
+        assert corpus.papers_of_name("A") == [0, 1]
+        assert corpus.name_frequency("A") == 2
+        assert corpus.name_frequency("missing") == 0
+        assert corpus.venue_frequency("V") == 2
+        assert corpus.num_author_paper_pairs == 4
+
+    def test_rejects_duplicate_pids(self):
+        with pytest.raises(ValueError, match="duplicate paper id"):
+            Corpus([make_paper(0), make_paper(0)])
+
+    def test_contains_and_getitem(self):
+        corpus = Corpus([make_paper(3)])
+        assert 3 in corpus
+        assert 4 not in corpus
+        assert corpus[3].pid == 3
+
+    def test_transactions_and_mentions(self):
+        corpus = Corpus([make_paper(0)])
+        assert list(corpus.transactions()) == [("A", "B")]
+        assert list(corpus.mentions()) == [AuthorRef(0, "A"), AuthorRef(0, "B")]
+
+    def test_subset_fraction(self, small_corpus):
+        half = small_corpus.subset(0.5, seed=1)
+        assert 0 < len(half) < len(small_corpus)
+        assert all(p.pid in small_corpus for p in half)
+
+    def test_subset_full_is_identity(self, small_corpus):
+        assert small_corpus.subset(1.0) is small_corpus
+
+    def test_subset_validates(self, small_corpus):
+        with pytest.raises(ValueError):
+            small_corpus.subset(0.0)
+        with pytest.raises(ValueError):
+            small_corpus.subset(1.5)
+
+    def test_restrict_to_years(self):
+        a = make_paper(0)
+        b = Paper(1, ("A",), "t", "V", 2010)
+        corpus = Corpus([a, b]).restrict_to_years(2005)
+        assert len(corpus) == 1 and 0 in corpus
+
+    def test_filter(self, small_corpus):
+        sub = small_corpus.filter(lambda p: p.year >= 2010)
+        assert all(p.year >= 2010 for p in sub)
+
+    def test_add_updates_indexes(self):
+        corpus = Corpus([make_paper(0)])
+        corpus.add(Paper(1, ("A", "Z"), "t", "W", 2001))
+        assert corpus.papers_of_name("Z") == [1]
+        assert corpus.papers_of_name("A") == [0, 1]
+        assert corpus.venue_frequency("W") == 1
+
+    def test_add_rejects_duplicates(self):
+        corpus = Corpus([make_paper(0)])
+        with pytest.raises(ValueError):
+            corpus.add(make_paper(0))
+
+    def test_truth_helpers(self, labelled_corpus):
+        assert labelled_corpus.labelled
+        assert labelled_corpus.authors_of_name("X Y") == {100, 200}
+
+    def test_jsonl_roundtrip(self, tmp_path, labelled_corpus):
+        path = str(tmp_path / "corpus.jsonl")
+        labelled_corpus.save_jsonl(path)
+        restored = Corpus.load_jsonl(path)
+        assert len(restored) == len(labelled_corpus)
+        assert restored[0] == labelled_corpus[0]
+
+
+class TestCorpusStats:
+    def test_of_labelled(self, labelled_corpus):
+        stats = CorpusStats.of(labelled_corpus)
+        assert stats.num_papers == 8
+        assert stats.num_true_authors == 6
+        assert stats.year_range == (2001, 2005)
+        assert stats.num_venues == 2
+
+    def test_of_unlabelled(self, figure2_corpus):
+        stats = CorpusStats.of(figure2_corpus)
+        assert stats.num_true_authors is None
+        assert stats.num_names == 7

@@ -1,0 +1,139 @@
+"""Tests for Stage 1 — SCN construction (the Figure 2/4 running example)."""
+
+import pytest
+
+from repro.data.records import Corpus, Paper
+from repro.graphs.scn import (
+    SCNBuilder,
+    build_scn,
+    independence_tail_probability,
+    mine_scrs,
+)
+
+
+class TestIndependenceTail:
+    def test_paper_equation_2(self):
+        """Eq. 2: Pr(X >= 3) = 2.3389e-3 with the paper's numbers."""
+        p = independence_tail_probability(500, 500, 500_000, 3)
+        assert p == pytest.approx(2.3389e-3, rel=1e-3)
+
+    def test_monotone_in_x(self):
+        p2 = independence_tail_probability(500, 500, 500_000, 2)
+        p3 = independence_tail_probability(500, 500, 500_000, 3)
+        p5 = independence_tail_probability(500, 500, 500_000, 5)
+        assert p2 > p3 > p5
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            independence_tail_probability(-1, 5, 100, 2)
+        with pytest.raises(ValueError):
+            independence_tail_probability(1, 5, 0, 2)
+
+
+class TestMineSCRs:
+    def test_supports_carry_paper_ids(self, figure2_corpus):
+        scrs = mine_scrs(figure2_corpus, 2)
+        assert scrs[("a", "c")] == {0, 1, 2, 3}
+        assert scrs[("b", "e")] == {4, 5}
+        assert ("b", "f") not in scrs
+
+
+class TestFigure2Construction:
+    """The full running example: expected vertices, edges, papers."""
+
+    @pytest.fixture()
+    def scn(self, figure2_corpus):
+        net, report = build_scn(figure2_corpus, eta=2)
+        return net, report
+
+    def test_report_counts(self, scn):
+        _net, report = scn
+        assert report.eta == 2
+        assert report.n_scrs == 6
+        assert report.n_vertices == 10
+        assert report.n_isolated == 4
+
+    def test_cluster_abcd(self, scn):
+        net, _ = scn
+        # one vertex per name in the stable cluster
+        for name, papers in [
+            ("a", {0, 1, 2, 3}),
+            ("c", {0, 1, 2, 3}),
+            ("d", {0, 1}),
+        ]:
+            (vid,) = [
+                v for v in net.vertices_of_name(name) if len(net.papers_of(v)) > 1
+            ]
+            assert net.papers_of(vid) == papers
+
+    def test_name_b_splits_into_four_vertices(self, scn):
+        net, _ = scn
+        b_vertices = net.vertices_of_name("b")
+        assert len(b_vertices) == 4
+        paper_sets = sorted(
+            (sorted(net.papers_of(v)) for v in b_vertices), key=lambda s: (len(s), s)
+        )
+        assert paper_sets == [[6], [7], [4, 5], [0, 2, 3]]
+
+    def test_isolated_vertices_have_no_edges(self, scn):
+        net, _ = scn
+        for name in ("f", "g"):
+            (vid,) = net.vertices_of_name(name)
+            assert net.degree(vid) == 0
+
+    def test_triangle_edges_materialised(self, scn):
+        net, _ = scn
+        (a,) = [
+            v for v in net.vertices_of_name("a") if len(net.papers_of(v)) > 1
+        ]
+        neighbor_names = {net.name_of(n) for n in net.neighbors(a)}
+        assert neighbor_names == {"b", "c", "d"}
+
+
+class TestMentionAssignment:
+    def test_every_mention_assigned_exactly_once(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        seen: dict[tuple[str, int], int] = {}
+        for vertex in net:
+            for pid in vertex.papers:
+                key = (vertex.name, pid)
+                assert key not in seen, f"mention {key} owned twice"
+                seen[key] = vertex.vid
+        total_mentions = small_corpus.num_author_paper_pairs
+        assert len(seen) == total_mentions
+
+    def test_vertex_papers_contain_vertex_name(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        for vertex in net:
+            for pid in vertex.papers:
+                assert vertex.name in small_corpus[pid].authors
+
+
+class TestKnobs:
+    def test_eta_validation(self, figure2_corpus):
+        with pytest.raises(ValueError):
+            SCNBuilder(figure2_corpus, eta=0)
+
+    def test_higher_eta_is_stricter(self, small_corpus):
+        _net2, rep2 = build_scn(small_corpus, eta=2)
+        _net3, rep3 = build_scn(small_corpus, eta=3)
+        assert rep3.n_scrs <= rep2.n_scrs
+        assert rep3.n_isolated >= rep2.n_isolated
+
+    def test_certification_off_merges_more(self, small_corpus):
+        net_on, _ = build_scn(small_corpus, eta=2, certify_triangles=True)
+        net_off, _ = build_scn(small_corpus, eta=2, certify_triangles=False)
+        assert len(net_off) <= len(net_on)
+
+    def test_triangle_instance_flag(self, small_corpus):
+        net_strict, rep_strict = build_scn(
+            small_corpus, eta=2, require_triangle_instance=True
+        )
+        net_loose, rep_loose = build_scn(
+            small_corpus, eta=2, require_triangle_instance=False
+        )
+        # the strict rule certifies a subset of what the loose rule does
+        assert (
+            rep_strict.n_triangle_certifications
+            <= rep_loose.n_triangle_certifications
+        )

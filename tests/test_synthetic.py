@@ -1,0 +1,135 @@
+"""Tests for the synthetic DBLP generator (structure + calibration)."""
+
+import pytest
+
+from repro.data.powerlaw import (
+    fit_power_law,
+    pair_frequency_distribution,
+    papers_per_name_distribution,
+)
+from repro.data.synthetic import (
+    SyntheticConfig,
+    SyntheticDBLP,
+    ambiguous_names,
+    generate_corpus,
+    generate_world,
+)
+
+
+class TestConfigValidation:
+    def test_name_pool_cap(self):
+        with pytest.raises(ValueError, match="name_pool_size"):
+            SyntheticConfig(name_pool_size=10**6)
+
+    def test_community_floor(self):
+        with pytest.raises(ValueError, match="per community"):
+            SyntheticConfig(n_authors=5, n_communities=10)
+
+    def test_year_order(self):
+        with pytest.raises(ValueError, match="year_end"):
+            SyntheticConfig(year_start=2020, year_end=2020)
+
+
+class TestWorldStructure:
+    def test_every_paper_is_labelled(self, small_corpus):
+        assert small_corpus.labelled
+
+    def test_labels_consistent_with_world(self, small_world):
+        corpus = small_world.corpus
+        for paper in corpus:
+            for name, aid in zip(paper.authors, paper.author_ids):
+                assert small_world.authors[aid].name == name
+
+    def test_years_within_config(self, small_world):
+        cfg = small_world.config
+        for paper in small_world.corpus:
+            assert cfg.year_start <= paper.year <= cfg.year_end
+
+    def test_deterministic_given_seed(self, small_config):
+        c1 = SyntheticDBLP(small_config).generate()
+        c2 = SyntheticDBLP(small_config).generate()
+        assert len(c1) == len(c2)
+        assert all(c1[p.pid] == p for p in c2)
+
+    def test_different_seed_differs(self, small_config, small_corpus):
+        import dataclasses
+
+        other_cfg = dataclasses.replace(small_config, seed=99)
+        other = SyntheticDBLP(other_cfg).generate()
+        assert any(other[p.pid] != p for p in small_corpus if p.pid in other)
+
+    def test_homonyms_exist(self, small_corpus):
+        assert len(ambiguous_names(small_corpus)) >= 10
+
+    def test_no_same_paper_homonyms(self, small_corpus):
+        for paper in small_corpus:
+            assert len(set(paper.authors)) == len(paper.authors)
+
+    def test_community_has_no_internal_homonyms(self, small_world):
+        for community in small_world.communities:
+            names = [small_world.authors[aid].name for aid in community.members]
+            # phase moves can introduce collisions; the home assignment
+            # must keep collisions well below random
+            assert len(set(names)) >= 0.75 * len(names)
+
+    def test_multi_phase_authors_exist(self, small_world):
+        multi = [a for a in small_world.authors.values() if len(a.phases) > 1]
+        assert multi, "career phases are the recall structure Stage 2 needs"
+
+    def test_transient_authors_have_single_paper(self, small_world):
+        corpus = small_world.corpus
+        counts: dict[int, int] = {}
+        for paper in corpus:
+            for aid in paper.author_ids:
+                counts[aid] = counts.get(aid, 0) + 1
+        transients = [
+            a.aid for a in small_world.authors.values() if a.quota == 0
+        ]
+        assert transients
+        # a transient deduped off a team (name collision) owns 0 papers
+        assert all(counts.get(aid, 0) <= 1 for aid in transients)
+
+
+class TestCalibration:
+    """The Figure 3 shape facts the generator must reproduce."""
+
+    @pytest.fixture(scope="class")
+    def default_corpus(self):
+        return generate_corpus()
+
+    def test_fig3a_power_law(self, default_corpus):
+        fit = fit_power_law(
+            papers_per_name_distribution(default_corpus), log_binned=True
+        )
+        assert -3.2 <= fit.slope <= -1.2
+        assert fit.r_squared >= 0.85
+
+    def test_fig3b_power_law(self, default_corpus):
+        fit = fit_power_law(
+            pair_frequency_distribution(default_corpus), log_binned=True
+        )
+        assert -4.8 <= fit.slope <= -2.2
+        assert fit.r_squared >= 0.85
+
+    def test_fig3b_steeper_than_fig3a(self, default_corpus):
+        fa = fit_power_law(
+            papers_per_name_distribution(default_corpus), log_binned=True
+        )
+        fb = fit_power_law(
+            pair_frequency_distribution(default_corpus), log_binned=True
+        )
+        assert fb.slope < fa.slope - 0.5
+
+
+class TestConvenience:
+    def test_generate_world_overrides(self):
+        world = generate_world(
+            n_authors=300, n_papers=400, name_pool_size=400, n_communities=30, seed=3
+        )
+        assert len(world.corpus) <= 400
+        assert world.config.seed == 3
+
+    def test_authors_sharing_name(self, small_world):
+        name = next(iter(ambiguous_names(small_world.corpus)))
+        sharing = small_world.authors_sharing_name(name)
+        assert len(sharing) >= 2
