@@ -68,7 +68,12 @@ def training_pairs_from_names(
         for i, j in pairs:
             u, v = views[i], views[j]
             features.append(pair_features(u, v, venue_freq))
-            same = corpus[u.pid].author_id_of(name) == corpus[v.pid].author_id_of(name)
+            # Shared-identity membership (set overlap) so papers listing a
+            # homonymous co-author pair still yield a well-defined label.
+            same = bool(
+                set(corpus[u.pid].author_ids_of(name))
+                & set(corpus[v.pid].author_ids_of(name))
+            )
             labels.append(1 if same else 0)
     if not features:
         raise ValueError("no training pairs could be generated")

@@ -6,6 +6,14 @@ by vertex splitting), scores every same-name vertex pair with Eq. 11, and
 merges pairs clearing δ into the global collaboration network.  After
 fitting, newly published papers are disambiguated incrementally (see
 :mod:`repro.core.incremental`) without retraining.
+
+Stage 2 performance: each merge round gathers *all* names' candidate pairs
+and scores them in one call to the batched similarity engine
+(:mod:`repro.similarity.batch`), and a single
+:class:`~repro.similarity.profile.SimilarityComputer` serves every round —
+merged networks preserve vertex ids, so only the profiles a merge actually
+stained are invalidated (``SimilarityComputer.rebind``) rather than the
+whole store being rebuilt per round.
 """
 
 from __future__ import annotations
@@ -33,7 +41,13 @@ Pair = tuple[int, int]
 
 @dataclass(slots=True)
 class FitReport:
-    """Everything a run of Algorithm 1 learned about itself."""
+    """Everything a run of Algorithm 1 learned about itself.
+
+    ``n_candidate_pairs`` counts the *unique first-round* candidate pairs
+    (``R_a`` summed over names, Section V-A); later merge rounds re-score
+    the consolidated network, and those re-scored pairs are reported per
+    round in ``per_round_candidate_pairs`` rather than inflating the total.
+    """
 
     scn: SCNBuildReport
     em: EMReport
@@ -46,6 +60,8 @@ class FitReport:
     stage1_seconds: float
     stage2_seconds: float
     per_name_seconds: dict[str, float] = field(default_factory=dict)
+    per_round_candidate_pairs: list[int] = field(default_factory=list)
+    per_round_merges: list[int] = field(default_factory=list)
 
 
 class IUAD:
@@ -112,64 +128,115 @@ class IUAD:
 
         decision_names = list(corpus.names if names is None else names)
         gcn = scn
-        n_pairs = 0
         n_merges = 0
         per_name: dict[str, float] = {}
+        per_round_pairs: list[int] = []
+        per_round_merges: list[int] = []
+        # One SimilarityComputer serves every merge round: the merged
+        # network is built with preserve_ids=True, so only vertices whose
+        # neighbourhood a merge (or a recovered relation) actually changed
+        # lose their cached profiles (see SimilarityComputer.rebind).
         for round_index in range(cfg.merge_rounds):
-            round_computer = (
-                computer
-                if round_index == 0
-                else SimilarityComputer(
-                    gcn,
-                    corpus,
-                    embeddings=self.embeddings_,
-                    wl_iterations=cfg.wl_iterations,
-                    decay_alpha=cfg.decay_alpha,
-                )
-            )
             round_delta = cfg.delta if round_index == 0 else cfg.later_delta
             union = UnionFind(v.vid for v in gcn)
             round_merges = 0
+
+            # Gather every name's candidates, then score the whole round in
+            # one batched call so the engine amortises its sparse assembly
+            # over all names instead of paying it per name.
+            t_collect = time.perf_counter()
+            name_pairs: list[tuple[str, list[Pair]]] = []
+            all_pairs: list[Pair] = []
             for name in decision_names:
-                tn = time.perf_counter()
                 pairs = candidate_pairs_of_name(gcn, name)
-                if not pairs:
-                    per_name[name] = per_name.get(name, 0.0) + (
-                        time.perf_counter() - tn
-                    )
-                    continue
-                n_pairs += len(pairs)
-                gammas = round_computer.pair_matrix(pairs)
-                scores = match_scores(model, gammas)
-                for (u, v), score in zip(pairs, scores):
+                name_pairs.append((name, pairs))
+                all_pairs.extend(pairs)
+            shared_seconds = time.perf_counter() - t_collect
+            per_round_pairs.append(len(all_pairs))
+
+            t_score = time.perf_counter()
+            if all_pairs:
+                scores = match_scores(model, computer.pair_matrix(all_pairs))
+            else:
+                scores = np.empty(0, dtype=np.float64)
+            shared_seconds += time.perf_counter() - t_score
+
+            # The batched time is attributed to names by pair share, so the
+            # per-name accounting of eval/timing.py (Table V) still sums to
+            # the true decision-stage total.
+            total_pairs = max(len(all_pairs), 1)
+            merged_vids: list[int] = []
+            # Papers per union-find component, for the cannot-link guard.
+            # Tracked at component level so the constraint survives
+            # transitive chaining (t1–x and t2–x must not join t1 and t2
+            # when t1, t2 share a paper).
+            comp_papers: dict[int, set[int]] = {}
+
+            def papers_of_component(root: int) -> set[int]:
+                papers = comp_papers.get(root)
+                if papers is None:
+                    papers = set(gcn.papers_of(root))
+                    comp_papers[root] = papers
+                return papers
+
+            offset = 0
+            for name, pairs in name_pairs:
+                tn = time.perf_counter()
+                for (u, v), score in zip(
+                    pairs, scores[offset : offset + len(pairs)]
+                ):
                     if score >= round_delta:
-                        union.union(u, v)
+                        # Cannot-link guard: two same-name vertices that
+                        # share an attributed paper are two homonymous
+                        # co-authors of that paper — provably distinct
+                        # people, however similar their profiles look.
+                        root_u, root_v = union.find(u), union.find(v)
+                        if root_u == root_v:
+                            # Already joined transitively — counting this
+                            # as a merge would overstate merge activity
+                            # and could defeat the convergence break.
+                            continue
+                        papers_u = papers_of_component(root_u)
+                        papers_v = papers_of_component(root_v)
+                        if papers_u & papers_v:
+                            continue
+                        root = union.union(u, v)
+                        comp_papers[root] = papers_u | papers_v
+                        merged_vids.append(u)
+                        merged_vids.append(v)
                         round_merges += 1
-                per_name[name] = per_name.get(name, 0.0) + (
-                    time.perf_counter() - tn
+                offset += len(pairs)
+                per_name[name] = (
+                    per_name.get(name, 0.0)
+                    + (time.perf_counter() - tn)
+                    + shared_seconds * (len(pairs) / total_pairs)
                 )
             n_merges += round_merges
-            gcn = gcn.merged(union)
+            per_round_merges.append(round_merges)
+            if round_merges == 0 and gcn is not scn:
+                # Converged on an already-copied network: a further
+                # merged() pass would rebuild an identical graph.  (The
+                # first round always copies, so _recover_relations never
+                # mutates the pristine scn_.)
+                break
+            touched = {union.find(vid) for vid in merged_vids}
+            gcn = gcn.merged(union, preserve_ids=True)
+            computer.rebind(gcn, touched=touched)
             if round_merges == 0:
                 break
-        self._recover_relations(gcn, corpus)
+        touched = self._recover_relations(gcn, corpus)
+        computer.rebind(gcn, touched=touched)
         stage2 = time.perf_counter() - t1
 
         self.corpus_ = corpus
         self.scn_ = scn
         self.gcn_ = gcn
         self.model_ = model
-        self.computer_ = SimilarityComputer(
-            gcn,
-            corpus,
-            embeddings=self.embeddings_,
-            wl_iterations=cfg.wl_iterations,
-            decay_alpha=cfg.decay_alpha,
-        )
+        self.computer_ = computer
         self.report_ = FitReport(
             scn=scn_report,
             em=em_report,
-            n_candidate_pairs=n_pairs,
+            n_candidate_pairs=per_round_pairs[0] if per_round_pairs else 0,
             n_training_pairs=n_train,
             n_split_pairs=n_split,
             n_merges=n_merges,
@@ -178,6 +245,8 @@ class IUAD:
             stage1_seconds=stage1,
             stage2_seconds=stage2,
             per_name_seconds=per_name,
+            per_round_candidate_pairs=per_round_pairs,
+            per_round_merges=per_round_merges,
         )
         return self
 
@@ -247,23 +316,30 @@ class IUAD:
         return model, em_report, len(training), n_split
 
     @staticmethod
-    def _recover_relations(gcn: CollaborationNetwork, corpus: Corpus) -> None:
+    def _recover_relations(
+        gcn: CollaborationNetwork, corpus: Corpus
+    ) -> set[int]:
         """Algorithm 1 line 16: add back the non-stable co-author edges.
 
         Every paper's co-author list induces edges between the vertices that
         own its mentions; Stage 1 materialised only the stable ones, the
         rest are recovered here so the GCN is the *complete* collaboration
-        network of Definition 1.
+        network of Definition 1.  Returns the vertices that gained an edge,
+        so the caller can invalidate exactly their profile neighbourhoods.
         """
-        owner: dict[tuple[str, int], int] = {}
+        touched: set[int] = set()
+        # A (name, pid) mention normally has one owner, but a paper listing
+        # the same name twice (two homonymous co-authors) attributes the
+        # pid to two same-name vertices — recover both vertices' edges.
+        owner: dict[tuple[str, int], list[int]] = {}
         for vertex in gcn:
             for pid in vertex.papers:
-                owner[(vertex.name, pid)] = vertex.vid
+                owner.setdefault((vertex.name, pid), []).append(vertex.vid)
         for paper in corpus:
             vids = [
-                owner[(name, paper.pid)]
-                for name in paper.authors
-                if (name, paper.pid) in owner
+                vid
+                for name in dict.fromkeys(paper.authors)
+                for vid in owner.get((name, paper.pid), ())
             ]
             for i, u in enumerate(vids):
                 for v in vids[i + 1 :]:
@@ -271,6 +347,9 @@ class IUAD:
                         paper.pid in gcn.edge_papers(u, v)
                     ):
                         gcn.add_edge(u, v, (paper.pid,))
+                        touched.add(u)
+                        touched.add(v)
+        return touched
 
     # ------------------------------------------------------------------ #
     # fitted-state accessors

@@ -46,19 +46,58 @@ class Paper:
                 f"paper {self.pid}: author_ids length {len(self.author_ids)} "
                 f"!= authors length {len(self.authors)}"
             )
-        if len(set(self.authors)) != len(self.authors):
-            raise ValueError(f"paper {self.pid}: duplicate names in co-author list")
+        # A name may legitimately appear twice — two homonymous co-authors
+        # on one paper (rare but real).  Support is graded: the incremental
+        # disambiguator keeps the two mentions on distinct vertices, and
+        # Stage 2's cannot-link guard (component-aware) never merges two
+        # same-name vertices sharing a paper.  The batch Stage-1 builder,
+        # however, resolves mentions at (name, paper) granularity, so when
+        # the duplicated name is covered by an η-SCR both mentions land on
+        # one vertex — a known modelling limit (see ROADMAP).  What is
+        # malformed either way is the same ground-truth *identity* twice.
+        if self.author_ids is not None and len(set(self.author_ids)) != len(
+            self.author_ids
+        ):
+            raise ValueError(
+                f"paper {self.pid}: duplicate author ids in co-author list"
+            )
 
     @property
     def labelled(self) -> bool:
         """Whether ground-truth author identities are attached."""
         return self.author_ids is not None
 
-    def author_id_of(self, name: str) -> int:
-        """Return the ground-truth author id behind ``name`` on this paper."""
+    def author_ids_of(self, name: str) -> tuple[int, ...]:
+        """All ground-truth ids behind ``name`` on this paper, in list order.
+
+        Normally a single element; two for a paper listing homonymous
+        co-authors (the same name twice).
+        """
         if self.author_ids is None:
             raise ValueError(f"paper {self.pid} carries no ground-truth labels")
-        return self.author_ids[self.authors.index(name)]
+        return tuple(
+            aid
+            for n, aid in zip(self.authors, self.author_ids)
+            if n == name
+        )
+
+    def author_id_of(self, name: str) -> int:
+        """Return the ground-truth author id behind ``name`` on this paper.
+
+        Raises for a name listed twice (two homonymous co-authors): the
+        name alone cannot identify the mention — use
+        :meth:`author_ids_of` or the parallel ``authors``/``author_ids``
+        tuples positionally instead.
+        """
+        ids = self.author_ids_of(name)
+        if not ids:
+            raise ValueError(f"paper {self.pid}: no author named {name!r}")
+        if len(ids) > 1:
+            raise ValueError(
+                f"paper {self.pid}: name {name!r} is listed more than once; "
+                "mention identity is positional, not name-keyed"
+            )
+        return ids[0]
 
     def to_json(self) -> str:
         """Serialise to a single JSON line (see :meth:`from_json`)."""
@@ -226,14 +265,25 @@ class Corpus:
         return all(p.labelled for p in self)
 
     def true_author_of(self, mention: AuthorRef) -> int:
-        """Ground-truth author id of a mention (labelled corpora only)."""
-        return self[mention.pid].author_id_of(mention.name)
+        """Ground-truth author id of a mention (labelled corpora only).
+
+        ``AuthorRef`` identifies mentions at (paper, name) granularity, so
+        for a paper listing the name twice (homonymous co-authors) this
+        resolves to the first occurrence — the same mention-model limit as
+        the testing-dataset truth (see ROADMAP).
+        """
+        ids = self[mention.pid].author_ids_of(mention.name)
+        if not ids:
+            raise ValueError(
+                f"paper {mention.pid}: no author named {mention.name!r}"
+            )
+        return ids[0]
 
     def authors_of_name(self, name: str) -> set[int]:
         """Distinct ground-truth authors hiding behind ``name``."""
         out: set[int] = set()
         for pid in self.papers_of_name(name):
-            out.add(self[pid].author_id_of(name))
+            out.update(self[pid].author_ids_of(name))
         return out
 
     # ------------------------------------------------------------------ #

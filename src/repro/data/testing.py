@@ -120,7 +120,12 @@ def build_testing_dataset(
     truth: dict[tuple[str, int], int] = {}
     for name in chosen:
         for pid in corpus.papers_of_name(name):
-            truth[(name, pid)] = corpus[pid].author_id_of(name)
+            # Truth is keyed per (name, paper) mention — the same
+            # granularity Stage 1 resolves.  A paper listing the name
+            # twice (homonymous co-authors) has two ids behind the key;
+            # the first is taken, matching the mention model's limit
+            # (see the per-occurrence item in ROADMAP.md).
+            truth[(name, pid)] = corpus[pid].author_ids_of(name)[0]
     return TestingDataset(names=chosen, corpus=corpus, truth=truth)
 
 

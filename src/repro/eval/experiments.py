@@ -248,7 +248,9 @@ def run_fig5(
         names = [n for n in full_testing.names if corpus.papers_of_name(n)]
         truth = {
             name: {
-                pid: corpus[pid].author_id_of(name)
+                # First id per (name, paper) mention — see the testing
+                # dataset builder for the homonym caveat.
+                pid: corpus[pid].author_ids_of(name)[0]
                 for pid in corpus.papers_of_name(name)
             }
             for name in names
@@ -334,19 +336,27 @@ def run_fig6(
         wl_iterations=cfg.wl_iterations,
         decay_alpha=cfg.decay_alpha,
     )
-    # all candidate gammas per testing name, computed once
+    # All candidate gammas, computed in one batched call (the engine
+    # amortises its sparse assembly over every testing name at once) and
+    # sliced back per name.
     per_name_pairs: dict[str, list[tuple[int, int]]] = {}
-    per_name_gammas: dict[str, np.ndarray] = {}
+    flat_pairs: list[tuple[int, int]] = []
     for name in names:
         pairs = candidate_pairs_of_name(scn, name)
         per_name_pairs[name] = pairs
-        if pairs:
-            per_name_gammas[name] = computer.pair_matrix(pairs)
+        flat_pairs.extend(pairs)
     training = (
-        np.vstack([g for g in per_name_gammas.values()])
-        if per_name_gammas
+        computer.pair_matrix(flat_pairs)
+        if flat_pairs
         else np.zeros((0, 6))
     )
+    per_name_gammas: dict[str, np.ndarray] = {}
+    offset = 0
+    for name in names:
+        count = len(per_name_pairs[name])
+        if count:
+            per_name_gammas[name] = training[offset : offset + count]
+        offset += count
 
     out: dict[str, dict[float, PairwiseCounts]] = {}
     for i, sim_name in enumerate(SIMILARITY_NAMES):

@@ -1,4 +1,4 @@
-"""Timing harness for the scalability experiments (Table V).
+"""Timing harnesses: Table V scalability accounting + benchmark recording.
 
 Table V reports the *average time cost per name disambiguation* of each
 unsupervised method at 20/40/60/80/100 % of the corpus.  For the top-down
@@ -11,11 +11,68 @@ reported numbers include its full pipeline amortised over names).
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from ..data.records import Corpus
+
+
+@dataclass(slots=True)
+class StageTimer:
+    """Accumulates named wall-clock stages for a benchmark run.
+
+    Use as ``with timer.stage("score"): ...``; repeated stages accumulate.
+    ``as_dict`` returns seconds per stage, ready for
+    :func:`write_benchmark_json`.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to stage ``name`` without running code."""
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.stages)
+
+
+def write_benchmark_json(
+    path: str | Path,
+    benchmark: str,
+    stages: Mapping[str, float],
+    **extra: Any,
+) -> dict[str, Any]:
+    """Persist a benchmark record (stage seconds + free-form metadata).
+
+    The file is a single JSON object::
+
+        {"benchmark": ..., "stages": {name: seconds, ...}, ...extra}
+
+    Benchmarks commit these files (e.g. ``BENCH_similarity.json`` at the
+    repo root) so speedups remain comparable across PRs.  Returns the
+    written payload.
+    """
+    payload: dict[str, Any] = {
+        "benchmark": benchmark,
+        "stages": {k: round(v, 6) for k, v in stages.items()},
+    }
+    payload.update(extra)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
 
 
 @dataclass(frozen=True, slots=True)

@@ -47,10 +47,22 @@ class CollaborationNetwork:
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def add_vertex(self, name: str, papers: Iterable[int] = ()) -> int:
-        """Create a vertex for ``name`` and return its id."""
-        vid = self._next_vid
-        self._next_vid += 1
+    def add_vertex(
+        self, name: str, papers: Iterable[int] = (), vid: int | None = None
+    ) -> int:
+        """Create a vertex for ``name`` and return its id.
+
+        ``vid`` pins an explicit id (used by ``merged(..., preserve_ids=True)``
+        so surviving vertices keep their identity across merge rounds);
+        fresh ids stay unique either way.
+        """
+        if vid is None:
+            vid = self._next_vid
+            self._next_vid += 1
+        else:
+            if vid in self._vertices:
+                raise ValueError(f"vertex id {vid} already exists")
+            self._next_vid = max(self._next_vid, vid + 1)
         self._vertices[vid] = Vertex(vid=vid, name=name, papers=set(papers))
         self._by_name.setdefault(name, []).append(vid)
         self._adj[vid] = {}
@@ -157,13 +169,21 @@ class CollaborationNetwork:
     # ------------------------------------------------------------------ #
     # merging (Stage 2)
     # ------------------------------------------------------------------ #
-    def merged(self, union: UnionFind) -> "CollaborationNetwork":
+    def merged(
+        self, union: UnionFind, preserve_ids: bool = False
+    ) -> "CollaborationNetwork":
         """A new network with vertices merged according to ``union``.
 
         Every union-find component becomes one vertex whose papers are the
         union of the members' papers; parallel edges accumulate their paper
         sets.  Only same-name merges are legal (enforced here because the
         decision stage must never merge across names).
+
+        With ``preserve_ids=True`` each component keeps its union-find
+        representative's vertex id, so vertices untouched by the round keep
+        their identity — the contract that lets a
+        :class:`~repro.similarity.profile.SimilarityComputer` carry its
+        profile caches across merge rounds (see its ``rebind``).
         """
         out = CollaborationNetwork()
         rep_to_new: dict[int, int] = {}
@@ -171,7 +191,8 @@ class CollaborationNetwork:
             rep = union.find(vid) if vid in union else vid
             if rep not in rep_to_new:
                 rep_to_new[rep] = out.add_vertex(
-                    self._vertices[rep].name if rep in self._vertices else vertex.name
+                    self._vertices[rep].name if rep in self._vertices else vertex.name,
+                    vid=rep if preserve_ids else None,
                 )
             new_vid = rep_to_new[rep]
             if out.name_of(new_vid) != vertex.name:

@@ -1,5 +1,7 @@
-"""The six similarity functions of Stage 2 and the profile cache."""
+"""The six similarity functions of Stage 2, the profile cache, and the
+batched engine that evaluates all of them over whole pair lists."""
 
+from .batch import BatchSimilarityEngine, FeatureInterner, VertexArrays
 from .community import (
     representative_community_similarity,
     research_community_similarity,
@@ -14,9 +16,12 @@ from .profile import (
 from .structural import clique_coincidence
 
 __all__ = [
+    "BatchSimilarityEngine",
+    "FeatureInterner",
     "N_SIMILARITIES",
     "SIMILARITY_NAMES",
     "SimilarityComputer",
+    "VertexArrays",
     "VertexProfile",
     "clique_coincidence",
     "interest_cosine",

@@ -1,0 +1,549 @@
+"""Batched similarity engine: vectorised γ1–γ6 over whole pair lists.
+
+The per-pair path in :mod:`.profile` walks Python dicts for every candidate
+pair; with tens of thousands of same-name pairs (Table V scales) that loop
+dominates Stage 2.  This module keeps a *columnar* mirror of the vertex
+profiles — every per-vertex feature multiset (keywords, venues, WL labels,
+triangles) is interned into a global column space and stored as aligned
+``(column, value)`` arrays — and evaluates all six similarity functions for
+an entire pair list with numpy/scipy sparse kernels:
+
+======  ============================  =======================================
+γ       per-pair form                 batched form
+======  ============================  =======================================
+γ1      WL feature-map dot product    CSR row slice · elementwise multiply
+γ2      triangle-set intersection     binary CSR multiply, row sums
+γ3      centroid / multiset cosine    dense einsum with sparse-cosine fallback
+γ4      shared-keyword year decay     aligned COO data arrays + ``bincount``
+γ5      representative-venue counts   vectorised CSR element lookup
+γ6      venue Adamic/Adar overlap     aligned COO minimum + ``bincount``
+======  ============================  =======================================
+
+Cache semantics: the engine caches one :class:`VertexArrays` per vertex id,
+derived from the corresponding :class:`~.profile.VertexProfile`.  The owner
+(:class:`~.profile.SimilarityComputer`) invalidates both caches together —
+see its ``invalidate``/``rebind`` docs for the hop-radius contract.  Interned
+column ids are grow-only, so cached per-vertex column arrays stay valid as
+the vocabulary expands (new papers, new venues).
+
+Numerical contract: every γ matches the scalar path of :mod:`.profile` to
+well below 1e-9 (the only differences are floating-point summation order);
+``tests/test_batch_engine.py`` pins this down property-style.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # only for annotations — profile.py imports this module
+    from .profile import VertexProfile
+
+Pair = tuple[int, int]
+
+#: Stored usage years are shifted by +1 so every stored LO/HI value is
+#: strictly positive — scipy sparse ops may silently drop explicit zeros,
+#: and a year-0 entry must survive the shared-support intersection.
+_YEAR_SHIFT = 1.0
+
+
+class FeatureInterner:
+    """Grow-only mapping from hashable feature keys to dense column ids."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self) -> None:
+        self._index: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def intern(self, key: Hashable) -> int:
+        """Column id of ``key``, allocating the next id on first sight."""
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._index)
+            self._index[key] = idx
+        return idx
+
+
+@dataclass(slots=True)
+class VertexArrays:
+    """Columnar mirror of one :class:`VertexProfile`.
+
+    All keyword-aligned arrays (``kw_cols``/``kw_counts``/``kw_lohi``)
+    share one ordering, sorted by column id so CSR rows assembled from them
+    are canonical without a per-call sort.
+    """
+
+    vid: int
+    n_papers: int
+    kw_cols: np.ndarray        # int64, sorted
+    kw_counts: np.ndarray      # float64
+    kw_lohi: np.ndarray        # complex128: (min year + i·max year) + _YEAR_SHIFT
+    kw_norm: float             # ‖keyword multiset‖₂
+    ven_cols: np.ndarray       # int64, sorted
+    ven_counts: np.ndarray     # float64
+    top_venue_col: int         # -1 when the vertex has no venues
+    tri_cols: np.ndarray       # int64, sorted triangle ids
+    wl_cols: np.ndarray        # int64, sorted WL label ids
+    wl_counts: np.ndarray      # float64
+    wl_norm: float             # sqrt(K⟨h⟩(v, v))
+    centroid: np.ndarray | None
+    centroid_norm: float
+    cent_slot: int             # row in the engine's dense store, -1 if none
+
+
+def _sorted_cols(cols: list[int], *data: list[float]) -> tuple[np.ndarray, ...]:
+    """Sort aligned (cols, data...) lists by column id, as numpy arrays."""
+    col_arr = np.asarray(cols, dtype=np.int64)
+    data_arrs = [np.asarray(d, dtype=np.float64) for d in data]
+    if len(col_arr) > 1:
+        order = np.argsort(col_arr, kind="stable")
+        col_arr = col_arr[order]
+        data_arrs = [d[order] for d in data_arrs]
+    return (col_arr, *data_arrs)
+
+
+class BatchSimilarityEngine:
+    """Round-persistent columnar profile store + vectorised γ evaluation.
+
+    One engine lives inside each :class:`~.profile.SimilarityComputer`; the
+    interners (and thus column ids) persist for the computer's lifetime, so
+    per-vertex arrays survive merge rounds untouched unless explicitly
+    invalidated.
+    """
+
+    def __init__(
+        self,
+        word_frequencies: Mapping[str, int],
+        venue_frequencies: Mapping[str, int],
+    ) -> None:
+        self._word_frequencies = word_frequencies
+        self._venue_frequencies = venue_frequencies
+        self._kw = FeatureInterner()
+        self._kw_weight: list[float] = []   # 1 / log(1 + F_B(word)), by col
+        self._ven = FeatureInterner()
+        self._ven_weight: list[float] = []  # 1 / log(1 + F_H(venue)), by col
+        self._wl = FeatureInterner()
+        self._tri = FeatureInterner()
+        self._arrays: dict[int, VertexArrays] = {}
+        self._kw_weight_arr = np.empty(0, dtype=np.float64)
+        self._ven_weight_arr = np.empty(0, dtype=np.float64)
+        # Contiguous centroid store: vertices with a γ3 centroid own a row
+        # (``cent_slot``); freed slots are recycled on invalidation.
+        self._cent_matrix: np.ndarray | None = None
+        self._cent_free: list[int] = []
+        self._cent_used = 0
+
+    # ------------------------------------------------------------------ #
+    # cache maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate(self, vid: int) -> None:
+        """Drop the cached columnar arrays of ``vid``."""
+        arrays = self._arrays.pop(vid, None)
+        if arrays is not None and arrays.cent_slot >= 0:
+            self._cent_free.append(arrays.cent_slot)
+
+    def clear(self) -> None:
+        """Drop every cached per-vertex array (interners are kept)."""
+        self._arrays.clear()
+        self._cent_free.clear()
+        self._cent_used = 0
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._arrays
+
+    # ------------------------------------------------------------------ #
+    # interning
+    # ------------------------------------------------------------------ #
+    def _intern_keyword(self, word: str) -> int:
+        before = len(self._kw)
+        idx = self._kw.intern(word)
+        if len(self._kw) != before:
+            freq = self._word_frequencies.get(word, 1)
+            self._kw_weight.append(1.0 / math.log(1.0 + freq))
+        return idx
+
+    def _intern_venue(self, venue: str) -> int:
+        before = len(self._ven)
+        idx = self._ven.intern(venue)
+        if len(self._ven) != before:
+            freq = self._venue_frequencies.get(venue, 1)
+            self._ven_weight.append(1.0 / math.log(1.0 + freq))
+        return idx
+
+    def _kw_weights(self) -> np.ndarray:
+        if self._kw_weight_arr.size != len(self._kw_weight):
+            self._kw_weight_arr = np.asarray(self._kw_weight, dtype=np.float64)
+        return self._kw_weight_arr
+
+    def _ven_weights(self) -> np.ndarray:
+        if self._ven_weight_arr.size != len(self._ven_weight):
+            self._ven_weight_arr = np.asarray(
+                self._ven_weight, dtype=np.float64
+            )
+        return self._ven_weight_arr
+
+    # ------------------------------------------------------------------ #
+    # per-vertex array construction
+    # ------------------------------------------------------------------ #
+    def arrays_of(self, profile: VertexProfile) -> VertexArrays:
+        """The (cached) columnar arrays of ``profile``'s vertex."""
+        cached = self._arrays.get(profile.vid)
+        if cached is not None:
+            return cached
+        built = self._build(profile)
+        self._arrays[profile.vid] = built
+        return built
+
+    def _build(self, profile: VertexProfile) -> VertexArrays:
+        kw_cols: list[int] = []
+        kw_counts: list[float] = []
+        kw_lo: list[float] = []
+        kw_hi: list[float] = []
+        for word, count in profile.keywords.items():
+            kw_cols.append(self._intern_keyword(word))
+            kw_counts.append(float(count))
+            lo, hi = profile.keyword_years[word]
+            kw_lo.append(lo + _YEAR_SHIFT)
+            kw_hi.append(hi + _YEAR_SHIFT)
+        kw_cols_a, kw_counts_a, kw_lo_a, kw_hi_a = _sorted_cols(
+            kw_cols, kw_counts, kw_lo, kw_hi
+        )
+        # Fuse the usage-year window into one complex layer (lo + i·hi): a
+        # single sparse multiply restricts both endpoints to a pair's shared
+        # keyword support at once.
+        kw_lohi_a = kw_lo_a + 1j * kw_hi_a
+
+        ven_cols: list[int] = []
+        ven_counts: list[float] = []
+        for venue, count in profile.venues.items():
+            ven_cols.append(self._intern_venue(venue))
+            ven_counts.append(float(count))
+        ven_cols_a, ven_counts_a = _sorted_cols(ven_cols, ven_counts)
+        top_col = (
+            self._intern_venue(profile.top_venue)
+            if profile.top_venue is not None
+            else -1
+        )
+
+        tri_cols_a = np.sort(
+            np.asarray(
+                [self._tri.intern(t) for t in profile.triangles], dtype=np.int64
+            )
+        )
+
+        wl_cols: list[int] = []
+        wl_counts: list[float] = []
+        for label, count in profile.wl_features.items():
+            wl_cols.append(self._wl.intern(label))
+            wl_counts.append(float(count))
+        wl_cols_a, wl_counts_a = _sorted_cols(wl_cols, wl_counts)
+
+        centroid = profile.centroid
+        return VertexArrays(
+            vid=profile.vid,
+            n_papers=profile.n_papers,
+            kw_cols=kw_cols_a,
+            kw_counts=kw_counts_a,
+            kw_lohi=kw_lohi_a,
+            kw_norm=float(np.sqrt(np.sum(kw_counts_a * kw_counts_a))),
+            ven_cols=ven_cols_a,
+            ven_counts=ven_counts_a,
+            top_venue_col=top_col,
+            tri_cols=tri_cols_a,
+            wl_cols=wl_cols_a,
+            wl_counts=wl_counts_a,
+            wl_norm=float(np.sqrt(np.sum(wl_counts_a * wl_counts_a))),
+            centroid=centroid,
+            centroid_norm=(
+                float(np.linalg.norm(centroid)) if centroid is not None else 0.0
+            ),
+            cent_slot=self._store_centroid(centroid),
+        )
+
+    def _store_centroid(self, centroid: np.ndarray | None) -> int:
+        """Copy ``centroid`` into the dense store; returns its slot (or -1)."""
+        if centroid is None:
+            return -1
+        if self._cent_matrix is None:
+            self._cent_matrix = np.zeros(
+                (64, centroid.shape[0]), dtype=np.float64
+            )
+        if self._cent_free:
+            slot = self._cent_free.pop()
+        else:
+            slot = self._cent_used
+            self._cent_used += 1
+            if slot >= self._cent_matrix.shape[0]:
+                grown = np.zeros(
+                    (2 * self._cent_matrix.shape[0], self._cent_matrix.shape[1]),
+                    dtype=np.float64,
+                )
+                grown[: self._cent_matrix.shape[0]] = self._cent_matrix
+                self._cent_matrix = grown
+        self._cent_matrix[slot] = centroid
+        return slot
+
+    # ------------------------------------------------------------------ #
+    # batched γ evaluation
+    # ------------------------------------------------------------------ #
+    def gamma_matrix(
+        self,
+        pairs: Sequence[Pair],
+        profile_of: Callable[[int], VertexProfile],
+        alpha: float,
+    ) -> np.ndarray:
+        """``(n_pairs, 6)`` γ matrix, numerically matching the scalar path.
+
+        Args:
+            pairs: Vertex-id pairs to score.
+            profile_of: Profile accessor (normally the owning computer's
+                cached ``profile`` method).
+            alpha: Decay α of the time-consistency similarity (Eq. 7).
+        """
+        n = len(pairs)
+        out = np.empty((n, 6), dtype=np.float64)
+        if n == 0:
+            return out
+        pairs_arr = np.asarray(pairs, dtype=np.int64).reshape(n, 2)
+        vids = np.unique(pairs_arr)
+        cached = self._arrays.get
+        rows: list[VertexArrays] = []
+        for vid in vids.tolist():
+            arrays = cached(vid)
+            if arrays is None:
+                arrays = self.arrays_of(profile_of(vid))
+            rows.append(arrays)
+        us = np.searchsorted(vids, pairs_arr[:, 0])
+        vs = np.searchsorted(vids, pairs_arr[:, 1])
+
+        # One pass over the per-vertex scalars; the keyword family is
+        # assembled once and shared by γ3 (counts) and γ4 (year windows).
+        scalars = np.array(
+            [
+                (
+                    a.n_papers,
+                    a.wl_norm,
+                    a.kw_norm,
+                    a.centroid_norm,
+                    float(a.top_venue_col),
+                    float(a.cent_slot),
+                )
+                for a in rows
+            ],
+            dtype=np.float64,
+        )
+        n_papers, wl_norms, kw_norms, cent_norms, top_cols, cent_slots = (
+            scalars.T
+        )
+        tau = np.maximum(1.0, np.minimum(n_papers[us], n_papers[vs]))
+
+        kw_counts, kw_ind, kw_lohi = self._family(
+            [a.kw_cols for a in rows],
+            [[a.kw_counts for a in rows], None, [a.kw_lohi for a in rows]],
+            len(self._kw),
+        )
+
+        out[:, 0] = self._gamma1(rows, us, vs, wl_norms)
+        out[:, 1] = self._gamma2(rows, us, vs) / tau
+        out[:, 2] = self._gamma3(
+            us, vs, kw_counts, kw_norms, cent_norms, cent_slots
+        )
+        out[:, 3] = self._gamma4(us, vs, kw_ind, kw_lohi, alpha) / tau
+        gamma5, gamma6 = self._gamma56(rows, us, vs, top_cols)
+        out[:, 4] = gamma5 / tau
+        out[:, 5] = gamma6 / tau
+        return out
+
+    # -- assembly helpers ---------------------------------------------- #
+    @staticmethod
+    def _family(
+        cols: list[np.ndarray],
+        data: Sequence[list[np.ndarray] | None],
+        width: int,
+    ) -> list[sparse.csr_matrix]:
+        """CSR matrices (one row per vertex) sharing a sparsity structure.
+
+        Every returned matrix reuses the same ``indptr``/``indices`` built
+        from the per-vertex column arrays; each entry of ``data`` supplies
+        one value layer (``None`` → binary indicator).  Column arrays are
+        pre-sorted per vertex, so the results are canonical.
+        """
+        lengths = np.fromiter(
+            (c.size for c in cols), dtype=np.int64, count=len(cols)
+        )
+        indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = (
+            np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
+        )
+        shape = (len(cols), max(width, 1))
+        out: list[sparse.csr_matrix] = []
+        for layer in data:
+            if layer is None:
+                values = np.ones(indices.size, dtype=np.float64)
+            elif layer:
+                values = np.concatenate(layer)
+            else:
+                values = np.empty(0, dtype=np.float64)
+            mat = sparse.csr_matrix(shape, dtype=values.dtype)
+            mat.data, mat.indices, mat.indptr = values, indices, indptr
+            mat.has_sorted_indices = True
+            out.append(mat)
+        return out
+
+    @staticmethod
+    def _row_sums(product: sparse.spmatrix, n: int) -> np.ndarray:
+        return np.asarray(product.sum(axis=1), dtype=np.float64).reshape(n)
+
+    @staticmethod
+    def _aligned_data(mat: sparse.csr_matrix) -> sparse.csr_matrix:
+        """Canonicalise so ``.data`` arrays of same-support matrices align."""
+        if not mat.has_canonical_format:
+            mat.sum_duplicates()
+        if not mat.has_sorted_indices:
+            mat.sort_indices()
+        return mat
+
+    # -- individual similarities --------------------------------------- #
+    def _gamma1(
+        self,
+        rows: list[VertexArrays],
+        us: np.ndarray,
+        vs: np.ndarray,
+        wl_norms: np.ndarray,
+    ) -> np.ndarray:
+        (wl,) = self._family(
+            [a.wl_cols for a in rows],
+            [[a.wl_counts for a in rows]],
+            len(self._wl),
+        )
+        dots = self._row_sums(wl[us].multiply(wl[vs]), len(us))
+        denom = wl_norms[us] * wl_norms[vs]
+        return np.divide(
+            dots, denom, out=np.zeros_like(dots), where=denom > 0.0
+        )
+
+    def _gamma2(
+        self, rows: list[VertexArrays], us: np.ndarray, vs: np.ndarray
+    ) -> np.ndarray:
+        (tri,) = self._family(
+            [a.tri_cols for a in rows], [None], len(self._tri)
+        )
+        return self._row_sums(tri[us].multiply(tri[vs]), len(us))
+
+    def _gamma3(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        kw_counts: sparse.csr_matrix,
+        kw_norms: np.ndarray,
+        cent_norms: np.ndarray,
+        cent_slots: np.ndarray,
+    ) -> np.ndarray:
+        n = len(us)
+        dots = self._row_sums(kw_counts[us].multiply(kw_counts[vs]), n)
+        denom = kw_norms[us] * kw_norms[vs]
+        fallback = np.divide(
+            dots, denom, out=np.zeros_like(dots), where=denom > 0.0
+        )
+
+        slots_u = cent_slots[us].astype(np.int64)
+        slots_v = cent_slots[vs].astype(np.int64)
+        pair_dense = (slots_u >= 0) & (slots_v >= 0)
+        if self._cent_matrix is None or not pair_dense.any():
+            return fallback
+        # Slot -1 is clipped to row 0; those reads are garbage but are
+        # masked out by ``pair_dense`` below.
+        store = self._cent_matrix
+        cdots = np.einsum(
+            "ij,ij->i",
+            store[np.maximum(slots_u, 0)],
+            store[np.maximum(slots_v, 0)],
+        )
+        cdenom = cent_norms[us] * cent_norms[vs]
+        dense = np.divide(
+            cdots, cdenom, out=np.zeros_like(cdots), where=cdenom > 0.0
+        )
+        return np.where(pair_dense, dense, fallback)
+
+    def _gamma4(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        kw_ind: sparse.csr_matrix,
+        kw_lohi: sparse.csr_matrix,
+        alpha: float,
+    ) -> np.ndarray:
+        """Σ over shared keywords of ``e^{-α·gap} / log(1+F_B)`` per pair.
+
+        The complex year-window layer (lo + i·hi) is restricted to each
+        pair's shared keyword support by one binary-indicator multiply per
+        side; the two restrictions have identical canonical sparsity, so
+        their ``.data`` arrays align element-for-element and the decayed
+        sum reduces to one ``bincount``.
+        """
+        n = len(us)
+        win_u = self._aligned_data(kw_lohi[us].multiply(kw_ind[vs]).tocsr())
+        win_v = self._aligned_data(kw_lohi[vs].multiply(kw_ind[us]).tocsr())
+        if win_u.nnz == 0:
+            return np.zeros(n, dtype=np.float64)
+        gap = np.maximum(
+            np.maximum(win_u.data.real, win_v.data.real)
+            - np.minimum(win_u.data.imag, win_v.data.imag),
+            0.0,
+        )
+        weights = self._kw_weights()[win_u.indices]
+        contrib = np.exp(-alpha * gap) * weights
+        pair_rows = np.repeat(np.arange(n), np.diff(win_u.indptr))
+        return np.bincount(pair_rows, weights=contrib, minlength=n)
+
+    def _gamma56(
+        self,
+        rows: list[VertexArrays],
+        us: np.ndarray,
+        vs: np.ndarray,
+        top_cols: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """γ5 (representative-venue cross counts) and γ6 (Adamic/Adar).
+
+        Both read the venue-count family, so they share one assembly.
+        Returned values are pre-``τ`` sums.
+        """
+        n = len(us)
+        ven, ind = self._family(
+            [a.ven_cols for a in rows],
+            [[a.ven_counts for a in rows], None],
+            len(self._ven),
+        )
+        # γ5 — vectorised element lookup of each side's representative venue
+        top = top_cols.astype(np.int64)
+        gamma5 = np.zeros(n, dtype=np.float64)
+        mask_u = top[us] >= 0
+        if mask_u.any():
+            gamma5[mask_u] += np.asarray(
+                ven[vs[mask_u], top[us][mask_u]], dtype=np.float64
+            ).reshape(-1)
+        mask_v = top[vs] >= 0
+        if mask_v.any():
+            gamma5[mask_v] += np.asarray(
+                ven[us[mask_v], top[vs][mask_v]], dtype=np.float64
+            ).reshape(-1)
+        # γ6 — min-count overlap on the shared venue support
+        cnt_u = self._aligned_data(ven[us].multiply(ind[vs]).tocsr())
+        cnt_v = self._aligned_data(ven[vs].multiply(ind[us]).tocsr())
+        if cnt_u.nnz == 0:
+            return gamma5, np.zeros(n, dtype=np.float64)
+        mins = np.minimum(cnt_u.data, cnt_v.data)
+        weights = self._ven_weights()[cnt_u.indices]
+        pair_rows = np.repeat(np.arange(n), np.diff(cnt_u.indptr))
+        gamma6 = np.bincount(pair_rows, weights=mins * weights, minlength=n)
+        return gamma5, gamma6

@@ -1,0 +1,171 @@
+"""Parity and cache tests for the batched similarity engine.
+
+The engine's contract: ``pair_matrix_batched`` equals the scalar
+``similarity_vector`` path to (well below) 1e-9 for any pair list, in both
+the embedding-centroid and the no-embeddings fallback branches of γ3.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import candidate_pairs_of_name
+from repro.data.records import Corpus, Paper
+from repro.graphs import build_scn
+from repro.graphs.collab import CollaborationNetwork
+from repro.similarity import SimilarityComputer
+from repro.text.embeddings import train_title_embeddings
+
+ATOL = 1e-9
+
+
+def _all_pairs(net):
+    pairs = []
+    for name in net.names:
+        pairs.extend(candidate_pairs_of_name(net, name))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def scn(small_corpus):
+    net, _ = build_scn(small_corpus, eta=2)
+    return net
+
+
+@pytest.fixture(scope="module")
+def embeddings(small_corpus):
+    return train_title_embeddings(p.title for p in small_corpus)
+
+
+@pytest.fixture(scope="module")
+def computers(scn, small_corpus, embeddings):
+    """One computer per γ3 branch (fallback / centroid)."""
+    return {
+        "fallback": SimilarityComputer(scn, small_corpus, embeddings=None),
+        "centroid": SimilarityComputer(scn, small_corpus, embeddings=embeddings),
+    }
+
+
+class TestParity:
+    @pytest.mark.parametrize("branch", ["fallback", "centroid"])
+    def test_full_candidate_set(self, computers, scn, branch):
+        computer = computers[branch]
+        pairs = _all_pairs(scn)
+        assert len(pairs) > 100
+        reference = computer.pair_matrix_perpair(pairs)
+        batched = computer.pair_matrix_batched(pairs)
+        np.testing.assert_allclose(batched, reference, rtol=0.0, atol=ATOL)
+
+    @pytest.mark.parametrize("branch", ["fallback", "centroid"])
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_sublists(self, computers, scn, branch, data):
+        """Property: any sublist — repeats, flipped orders, self-pairs —
+        scores identically on both paths."""
+        computer = computers[branch]
+        pairs = _all_pairs(scn)
+        idx = data.draw(
+            st.lists(
+                st.integers(0, len(pairs) - 1), min_size=1, max_size=40
+            )
+        )
+        flips = data.draw(
+            st.lists(st.booleans(), min_size=len(idx), max_size=len(idx))
+        )
+        sub = [
+            (pairs[i][1], pairs[i][0]) if flip else pairs[i]
+            for i, flip in zip(idx, flips)
+        ]
+        if data.draw(st.booleans()):
+            u = pairs[idx[0]][0]
+            sub.append((u, u))  # self-pair: both paths must handle it
+        np.testing.assert_allclose(
+            computer.pair_matrix_batched(sub),
+            computer.pair_matrix_perpair(sub),
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+    def test_empty_pair_list(self, computers):
+        for computer in computers.values():
+            assert computer.pair_matrix_batched([]).shape == (0, 6)
+            assert computer.pair_matrix([]).shape == (0, 6)
+
+    def test_mixed_centroid_and_fallback_pairs(self, small_corpus, embeddings):
+        """A vertex with no keywords has no centroid: pairs touching it take
+        the multiset-cosine fallback even when embeddings exist, on both
+        paths."""
+        corpus = Corpus(
+            [
+                Paper(0, ("A A", "B B"), "query index join", "V1", 2001),
+                Paper(1, ("A A", "B B"), "query index store", "V1", 2002),
+                Paper(2, ("A A", "C C"), "", "V2", 2003),  # no keywords
+                Paper(3, ("A A", "C C"), "", "V2", 2004),
+            ]
+        )
+        net = CollaborationNetwork()
+        a1 = net.add_vertex("A A", papers=(0, 1))
+        a2 = net.add_vertex("A A", papers=(2, 3))
+        b = net.add_vertex("B B", papers=(0, 1))
+        c = net.add_vertex("C C", papers=(2, 3))
+        net.add_edge(a1, b, (0, 1))
+        net.add_edge(a2, c, (2, 3))
+        computer = SimilarityComputer(net, corpus, embeddings=embeddings)
+        assert computer.profile(a2).centroid is None
+        pairs = [(a1, a2), (a2, a1), (a1, a1)]
+        np.testing.assert_allclose(
+            computer.pair_matrix_batched(pairs),
+            computer.pair_matrix_perpair(pairs),
+            rtol=0.0,
+            atol=ATOL,
+        )
+
+
+class TestDispatch:
+    def test_threshold_routes_small_lists_to_scalar_path(
+        self, scn, small_corpus
+    ):
+        pairs = _all_pairs(scn)[:4]
+        low = SimilarityComputer(
+            scn, small_corpus, embeddings=None, batch_threshold=1
+        )
+        high = SimilarityComputer(
+            scn, small_corpus, embeddings=None, batch_threshold=100
+        )
+        np.testing.assert_allclose(
+            low.pair_matrix(pairs), high.pair_matrix(pairs), rtol=0.0, atol=ATOL
+        )
+
+
+class TestEngineCache:
+    def test_invalidate_drops_profile_and_arrays(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        computer = SimilarityComputer(net, small_corpus, embeddings=None)
+        pairs = _all_pairs(net)[:20]
+        before = computer.pair_matrix_batched(pairs)
+        vid = pairs[0][0]
+        assert computer.is_cached(vid)
+        assert vid in computer._engine
+        computer.invalidate(vid)
+        assert not computer.is_cached(vid)
+        assert vid not in computer._engine
+        # Rebuild from unchanged state reproduces the identical matrix.
+        np.testing.assert_allclose(
+            computer.pair_matrix_batched(pairs), before, rtol=0.0, atol=0.0
+        )
+
+    def test_interners_survive_invalidation(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        computer = SimilarityComputer(net, small_corpus, embeddings=None)
+        pairs = _all_pairs(net)[:20]
+        computer.pair_matrix_batched(pairs)
+        engine = computer._engine
+        n_kw, n_ven = len(engine._kw), len(engine._ven)
+        for u, v in pairs:
+            computer.invalidate(u)
+            computer.invalidate(v)
+        computer.pair_matrix_batched(pairs)
+        # Grow-only column spaces: rebuilt vertices reuse their old ids.
+        assert len(engine._kw) == n_kw
+        assert len(engine._ven) == n_ven

@@ -139,6 +139,38 @@ class TestCollaborationNetwork:
         with pytest.raises(ValueError, match="illegal merge"):
             net.merged(uf)
 
+    def test_merged_preserve_ids(self):
+        """preserve_ids keeps every surviving vertex's id: the contract the
+        round-persistent profile caches rely on."""
+        net = CollaborationNetwork()
+        x1 = net.add_vertex("x", papers=(0,))
+        x2 = net.add_vertex("x", papers=(1,))
+        y = net.add_vertex("y", papers=(0, 1))
+        z = net.add_vertex("z", papers=(2,))
+        net.add_edge(x1, y, {0})
+        net.add_edge(x2, y, {1})
+        uf = UnionFind([x1, x2, y, z])
+        uf.union(x1, x2)
+        merged = net.merged(uf, preserve_ids=True)
+        rep = uf.find(x1)
+        assert merged.vertices_of_name("x") == [rep]
+        assert merged.papers_of(rep) == {0, 1}
+        # Untouched vertices keep their exact ids.
+        assert y in merged and merged.name_of(y) == "y"
+        assert z in merged and merged.name_of(z) == "z"
+        assert merged.edge_papers(rep, y) == {0, 1}
+        # Fresh ids never collide with preserved ones.
+        fresh = merged.add_vertex("w")
+        assert fresh not in (x1, x2, y, z)
+
+    def test_add_vertex_with_explicit_id(self):
+        net = CollaborationNetwork()
+        vid = net.add_vertex("a", vid=7)
+        assert vid == 7
+        assert net.add_vertex("b") == 8
+        with pytest.raises(ValueError, match="already exists"):
+            net.add_vertex("c", vid=7)
+
 
 class TestTriangles:
     def test_triangle_enumeration(self):

@@ -6,6 +6,7 @@ from repro.core import IUAD, IUADConfig, IncrementalDisambiguator
 from repro.data import Corpus, Paper, build_testing_dataset
 from repro.data.testing import per_name_truth, split_for_incremental
 from repro.eval import micro_metrics
+from repro.graphs.wl import ball
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +60,53 @@ class TestIncremental:
         )
         a, b = inc.add_paper(paper)
         assert iuad.gcn_.has_edge(a.vid, b.vid)
+
+    def test_streaming_drops_stale_wl_ball(self, base_setup):
+        """Regression: after a streamed paper inserts an edge, every vertex
+        within ``wl_iterations`` hops of the touched endpoints must lose its
+        cached profile (2-hop neighbours kept stale γ1 caches before)."""
+        iuad, _td, new_pids, full_corpus = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        gcn, computer = iuad.gcn_, iuad.computer_
+        # Walk from the end so this test never races the other tests of
+        # this shared fixture for a paper id (they stream from the front).
+        paper = next(
+            full_corpus[pid]
+            for pid in reversed(new_pids)
+            if pid not in iuad.corpus_
+            and len(full_corpus[pid].authors) >= 2
+        )
+        for vertex in gcn:
+            computer.profile(vertex.vid)
+        assignments = inc.add_paper(paper)
+        assert len(assignments) >= 2  # an edge was recovered
+        radius = max(1, iuad.config.wl_iterations)
+        for assignment in assignments:
+            for vid in ball(gcn, assignment.vid, radius):
+                assert not computer.is_cached(vid), (
+                    f"vertex {vid} within {radius} hops of touched vertex "
+                    f"{assignment.vid} kept a stale profile"
+                )
+
+    def test_duplicate_name_mentions_do_not_self_attach(self, base_setup):
+        """Regression: a paper listing one name twice means two homonymous
+        people; the second mention must not attach to the vertex the first
+        mention just created on the evidence of this very paper."""
+        iuad, _td, _new, _full = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        paper = Paper(
+            pid=10**7 + 99,
+            authors=("Zz Dupname", "Zz Dupname"),
+            title="joint homonym work on graphs",
+            venue="DUP-VENUE",
+            year=2021,
+        )
+        first, second = inc.add_paper(paper)
+        assert first.vid != second.vid
+        assert first.created and second.created
+        assert len(iuad.gcn_.vertices_of_name("Zz Dupname")) == 2
+        # The two homonyms still collaborated on the paper.
+        assert iuad.gcn_.has_edge(first.vid, second.vid)
 
     def test_report_accumulates(self, base_setup):
         iuad, _td, new_pids, full_corpus = base_setup

@@ -60,6 +60,120 @@ class TestFit:
         iuad = disambiguate(small_corpus, names=td.names)
         assert iuad.gcn_ is not None
 
+    def test_candidate_pairs_not_double_counted(self, small_corpus):
+        """Regression: ``n_candidate_pairs`` once re-accumulated every
+        round's pairs; it must report the unique first-round candidates,
+        with later rounds visible only in the per-round breakdown."""
+        # δ = 0 guarantees round-1 merges, so a second round actually
+        # re-scores pairs (the situation the old counter inflated).
+        permissive = IUADConfig(merge_rounds=3, delta=0.0, later_delta=0.0)
+        one = IUAD(IUADConfig(merge_rounds=1, delta=0.0)).fit(small_corpus)
+        three = IUAD(permissive).fit(small_corpus)
+        r1, r3 = one.report_, three.report_
+        assert r3.n_candidate_pairs == r1.n_candidate_pairs
+        assert r3.per_round_candidate_pairs[0] == r3.n_candidate_pairs
+        assert len(r3.per_round_candidate_pairs) >= 2
+        # Merged networks can only shrink the candidate set; the old code
+        # reported the (larger) multi-round sum.
+        assert all(
+            later <= r3.n_candidate_pairs
+            for later in r3.per_round_candidate_pairs[1:]
+        )
+        assert len(r3.per_round_merges) == len(r3.per_round_candidate_pairs)
+        assert sum(r3.per_round_merges) == r3.n_merges
+
+    def test_fit_reuses_one_similarity_computer(self, small_corpus, monkeypatch):
+        """The profile store must persist across merge rounds: one computer
+        for the whole decision stage (plus the one-off split-balance
+        trainer), not a rebuild per round."""
+        import repro.core.iuad as iuad_module
+        from repro.similarity.profile import SimilarityComputer
+
+        constructed = []
+        original = SimilarityComputer.__init__
+
+        def counting_init(self, *args, **kwargs):
+            constructed.append(1)
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SimilarityComputer, "__init__", counting_init)
+        td = build_testing_dataset(small_corpus, n_names=5)
+        iuad = iuad_module.IUAD(IUADConfig(merge_rounds=3)).fit(
+            small_corpus, names=td.names
+        )
+        assert len(constructed) <= 2
+        assert iuad.computer_ is not None
+        assert iuad.computer_.net is iuad.gcn_
+
+    def test_fit_handles_duplicate_name_papers(self, small_corpus):
+        """A corpus containing a homonymous co-author pair (same name twice
+        on one paper) must fit cleanly: Stage 1 works per distinct
+        (name, paper) mention, and the cannot-link guard keeps same-name
+        vertices sharing a paper unmerged."""
+        from repro.data.records import Corpus, Paper
+
+        extra = Paper(
+            pid=10**6,
+            authors=("Zz Twin", "Zz Twin", "Other Person"),
+            title="homonymous coauthors on one paper",
+            venue="DUP-V",
+            year=2015,
+        )
+        corpus = Corpus(list(small_corpus) + [extra])
+        # δ = 0 is merge-happy: without the cannot-link guard, the two
+        # twin vertices (near-identical one-paper profiles) would merge.
+        iuad = IUAD(IUADConfig(merge_rounds=1, delta=0.0)).fit(corpus)
+        owners = [
+            vid
+            for vid in iuad.gcn_.vertices_of_name("Zz Twin")
+            if extra.pid in iuad.gcn_.papers_of(vid)
+        ]
+        # Two homonymous co-authors stay two vertices...
+        assert len(owners) == 2
+        u, v = owners
+        # ...whose collaboration (this very paper) is still an edge, for
+        # both twins (relation recovery must not drop one of them).
+        assert iuad.gcn_.has_edge(u, v)
+        other = next(
+            vid
+            for vid in iuad.gcn_.vertices_of_name("Other Person")
+            if extra.pid in iuad.gcn_.papers_of(vid)
+        )
+        assert iuad.gcn_.has_edge(u, other)
+        assert iuad.gcn_.has_edge(v, other)
+
+    def test_cannot_link_guard_is_transitive(self, small_corpus):
+        """Regression: the guard must hold at *component* level.  With a
+        third same-name vertex x, union(t1, x) then union(t2, x) would
+        chain the twins into one component even though the (t1, t2) pair
+        itself was skipped."""
+        from repro.data.records import Corpus, Paper
+
+        twin_paper = Paper(
+            pid=10**6,
+            authors=("Zz Twin", "Zz Twin"),
+            title="joint homonym paper graphs",
+            venue="DUP-V",
+            year=2015,
+        )
+        solo_paper = Paper(
+            pid=10**6 + 1,
+            authors=("Zz Twin",),
+            title="solo homonym paper graphs",
+            venue="DUP-V",
+            year=2016,
+        )
+        corpus = Corpus(list(small_corpus) + [twin_paper, solo_paper])
+        iuad = IUAD(IUADConfig(merge_rounds=1, delta=0.0)).fit(corpus)
+        owners = [
+            vid
+            for vid in iuad.gcn_.vertices_of_name("Zz Twin")
+            if twin_paper.pid in iuad.gcn_.papers_of(vid)
+        ]
+        # However the solo vertex chains, the two co-authors of the twin
+        # paper must remain two distinct vertices.
+        assert len(owners) == 2
+
     def test_merge_rounds_one_is_weaker(self, small_corpus):
         td = build_testing_dataset(small_corpus, n_names=10)
         truth = per_name_truth(td)

@@ -17,9 +17,15 @@ def make_paper(pid=0, authors=("A", "B"), ids=None):
 
 
 class TestPaper:
-    def test_rejects_duplicate_names(self):
-        with pytest.raises(ValueError, match="duplicate names"):
-            make_paper(authors=("A", "A"))
+    def test_accepts_duplicate_names_as_homonyms(self):
+        # Two homonymous co-authors on one paper are representable; the
+        # incremental disambiguator is responsible for keeping them apart.
+        paper = make_paper(authors=("A", "A"), ids=(1, 2))
+        assert paper.authors == ("A", "A")
+
+    def test_rejects_duplicate_author_ids(self):
+        with pytest.raises(ValueError, match="duplicate author ids"):
+            make_paper(authors=("A", "A"), ids=(1, 1))
 
     def test_rejects_mismatched_label_length(self):
         with pytest.raises(ValueError, match="author_ids length"):
@@ -33,6 +39,26 @@ class TestPaper:
         paper = make_paper(ids=(7, 9))
         assert paper.author_id_of("A") == 7
         assert paper.author_id_of("B") == 9
+
+    def test_author_id_of_duplicated_name_raises(self):
+        # A twice-listed name cannot be resolved by name — silently
+        # returning the first twin's id would corrupt evaluation.
+        paper = make_paper(authors=("A", "A"), ids=(1, 2))
+        with pytest.raises(ValueError, match="more than once"):
+            paper.author_id_of("A")
+
+    def test_author_ids_of_returns_all_twins(self):
+        paper = make_paper(authors=("A", "A"), ids=(1, 2))
+        assert paper.author_ids_of("A") == (1, 2)
+        assert paper.author_ids_of("missing") == ()
+
+    def test_true_author_of_handles_homonym_papers(self):
+        paper = make_paper(authors=("A", "A"), ids=(1, 2))
+        corpus = Corpus([paper])
+        mentions = list(corpus.mentions())
+        # (pid, name)-keyed mentions resolve to the first occurrence —
+        # the documented mention-model granularity — without raising.
+        assert all(corpus.true_author_of(m) == 1 for m in mentions)
 
     def test_author_id_of_unlabelled_raises(self):
         with pytest.raises(ValueError, match="no ground-truth"):

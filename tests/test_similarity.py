@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.data.records import Corpus, Paper
 from repro.graphs import build_scn
+from repro.graphs.collab import CollaborationNetwork
 from repro.similarity import (
     N_SIMILARITIES,
     SIMILARITY_NAMES,
@@ -183,6 +184,36 @@ class TestSimilarityComputer:
         pairs = [(vs[0], vs[1])]
         M = computer.pair_matrix(pairs)
         assert M.shape == (1, N_SIMILARITIES)
+
+    def test_invalidate_reaches_wl_radius(self):
+        """Regression: invalidation must extend to ``wl_iterations`` hops.
+
+        Topology x–w, w–u, w–v puts u and v two hops from x, so a new edge
+        u–v lies inside x's radius-2 WL ball.  A 1-hop-only invalidation
+        (the old behaviour) left x serving its stale γ1 feature map.
+        """
+        corpus = Corpus(
+            Paper(pid, ("A",), f"paper {pid} topic", "V", 2000 + pid)
+            for pid in range(4)
+        )
+        net = CollaborationNetwork()
+        x = net.add_vertex("X", papers=(0,))
+        w = net.add_vertex("W", papers=(0, 1, 2))
+        u = net.add_vertex("U", papers=(1, 3))
+        v = net.add_vertex("V", papers=(2, 3))
+        net.add_edge(x, w, (0,))
+        net.add_edge(w, u, (1,))
+        net.add_edge(w, v, (2,))
+        computer = SimilarityComputer(net, corpus)
+        stale = computer.profile(x).wl_features.copy()
+        assert computer.is_cached(x)
+
+        net.add_edge(u, v, (3,))  # the incremental-mode edge insertion
+        computer.invalidate(u)
+        computer.invalidate(v)
+        assert not computer.is_cached(x), "2-hop neighbour kept a stale cache"
+        fresh = computer.profile(x).wl_features
+        assert fresh != stale, "recomputed WL features should see the edge"
 
     def test_invalidate_refreshes_profile(self, setup):
         net, computer = setup
