@@ -15,14 +15,16 @@ from repro.graphs import build_scn
 def _gcn_metrics(ctx, config):
     iuad = IUAD(config).fit(ctx.corpus, names=ctx.testing.names)
     return micro_metrics(
-        {n: iuad.clusters_of_name(n) for n in ctx.testing.names}, ctx.truth
+        {n: iuad.mention_clusters_of_name(n) for n in ctx.testing.names},
+        ctx.truth
     )
 
 
 def _scn_metrics(ctx, **kwargs):
     net, _ = build_scn(ctx.corpus, **kwargs)
     return micro_metrics(
-        {n: net.clusters_of_name(n) for n in ctx.testing.names}, ctx.truth
+        {n: net.mention_clusters_of_name(n) for n in ctx.testing.names},
+        ctx.truth
     )
 
 

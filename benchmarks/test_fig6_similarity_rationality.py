@@ -27,7 +27,8 @@ def no_merge_f1(ctx):
 
     iuad = IUAD(IUADConfig(merge_rounds=1)).fit(ctx.corpus, names=ctx.testing.names)
     floor = micro_metrics(
-        {n: iuad.scn_clusters_of_name(n) for n in ctx.testing.names}, ctx.truth
+        {n: iuad.scn_mention_clusters_of_name(n) for n in ctx.testing.names},
+        ctx.truth
     )
     return floor.f1
 

@@ -29,12 +29,13 @@ def main() -> None:
     )
 
     iuad = IUAD(IUADConfig()).fit(base_corpus, names=testing.names)
+    # Truth units are positional mentions: (pid, position) -> author id.
     base_truth = {
-        n: {pid: a for pid, a in t.items() if pid not in new_set}
+        n: {unit: a for unit, a in t.items() if unit[0] not in new_set}
         for n, t in truth.items()
     }
     before = micro_metrics(
-        {n: iuad.clusters_of_name(n) for n in testing.names}, base_truth
+        {n: iuad.mention_clusters_of_name(n) for n in testing.names}, base_truth
     )
     print(f"before streaming: MicroF = {before.f1:.4f}")
 
@@ -46,7 +47,7 @@ def main() -> None:
         del assignments
 
     after = micro_metrics(
-        {n: iuad.clusters_of_name(n) for n in testing.names}, truth
+        {n: iuad.mention_clusters_of_name(n) for n in testing.names}, truth
     )
     report = stream.report
     print(f"after streaming:  MicroF = {after.f1:.4f} (Δ {after.f1 - before.f1:+.4f})")

@@ -6,6 +6,33 @@ clusters found for the most ambiguous name and the pairwise micro metrics
 against the ground truth.
 
 Run:  python examples/quickstart.py
+
+Mention identity is *positional* — ``(paper, name, position)`` — so even a
+paper listing the same name twice (two homonymous co-authors) is handled
+correctly.  Name ``x`` below has two stable collaboration circles (with
+``p`` and with ``q``); paper 4 lists ``x`` twice, and Stage 1 assigns the
+two occurrences to the two distinct vertices instead of folding them onto
+one (doctested; see ``docs/architecture.md`` for the full data flow):
+
+>>> from repro.data.records import Corpus, Paper
+>>> from repro.graphs import build_scn
+>>> corpus = Corpus(
+...     Paper(pid=i, authors=authors, title=f"t{i}", venue="V", year=2000 + i)
+...     for i, authors in enumerate(
+...         [("x", "p"), ("x", "p"), ("x", "q"), ("x", "q"), ("x", "x", "p", "q")]
+...     )
+... )
+>>> net, report = build_scn(corpus, eta=2)
+>>> report.n_mentions == corpus.num_author_paper_pairs == 12
+True
+>>> owners = sorted(
+...     vid for vid in net.vertices_of_name("x") if 4 in net.papers_of(vid)
+... )
+>>> len(owners)  # two homonymous co-authors -> two vertices
+2
+>>> sorted(net.mentions_of(vid)[4] for vid in owners)  # one occurrence each
+[0, 1]
+
 """
 
 from repro.core import IUAD, IUADConfig
@@ -56,9 +83,10 @@ def main() -> None:
     print(f"  SCN split it into {len(iuad.scn_clusters_of_name(name))} vertices")
     print(f"  GCN merged those into {len(clusters)} predicted authors")
 
-    # 5. Micro metrics over all testing names (Table III protocol).
+    # 5. Micro metrics over all testing names (Table III protocol), paired
+    #    at positional-mention granularity.
     gcn_metrics = micro_metrics(
-        {n: iuad.clusters_of_name(n) for n in testing.names}, truth
+        {n: iuad.mention_clusters_of_name(n) for n in testing.names}, truth
     )
     a, p, r, f = gcn_metrics.as_row()
     print(

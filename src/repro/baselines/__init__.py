@@ -5,10 +5,12 @@ from .anon import ANON
 from .common import (
     N_PAIR_FEATURES,
     PaperView,
+    as_mention_clusters,
     clusters_from_labels,
     pair_features,
     pairwise_distance_matrix,
     predict_all,
+    predict_all_mentions,
     views_of_name,
 )
 from .ghost import GHOST
@@ -23,11 +25,13 @@ __all__ = [
     "NetE",
     "PaperView",
     "SupervisedPairwise",
+    "as_mention_clusters",
     "clusters_from_labels",
     "make_classifier",
     "pair_features",
     "pairwise_distance_matrix",
     "predict_all",
+    "predict_all_mentions",
     "training_pairs_from_names",
     "views_of_name",
 ]

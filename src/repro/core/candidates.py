@@ -4,6 +4,12 @@
 candidate set of name ``a`` (Section V-A).  Only 10 % of the pairs are used
 for parameter learning (Section V-F1); every pair is scored for the merge
 decision.
+
+:func:`cannot_link_pairs` enumerates the candidate pairs the decision stage
+must *refuse* regardless of score: two same-name vertices owning mentions
+of one paper are two homonymous co-authors of that paper — provably
+distinct people.  The per-occurrence mention model makes these pairs
+directly enumerable from vertex payloads.
 """
 
 from __future__ import annotations
@@ -23,6 +29,27 @@ def candidate_pairs_of_name(
     """All unordered same-name vertex pairs of ``name``."""
     vids = sorted(net.vertices_of_name(name))
     return list(combinations(vids, 2))
+
+
+def cannot_link_pairs(net: CollaborationNetwork) -> list[Pair]:
+    """Same-name vertex pairs sharing an attributed paper (never mergeable).
+
+    With the per-occurrence mention model such pairs arise exactly from
+    papers listing one name twice: each occurrence sits on its own vertex
+    and both vertices carry the paper.  Registered as
+    :meth:`~repro.graphs.unionfind.UnionFind.forbid` constraints before any
+    merge decision is applied.
+    """
+    owners: dict[tuple[str, int], list[int]] = {}
+    for vertex in net:
+        for pid in vertex.papers:
+            owners.setdefault((vertex.name, pid), []).append(vertex.vid)
+    pairs: set[Pair] = set()
+    for vids in owners.values():
+        if len(vids) > 1:
+            ordered = sorted(vids)
+            pairs.update(combinations(ordered, 2))
+    return sorted(pairs)
 
 
 def iter_candidate_pairs(

@@ -12,13 +12,18 @@ Otherwise ``v_a`` stays a new isolated vertex.  No retraining happens —
 this is the property that makes IUAD incremental (Table VI measures the
 cost at < 50 ms per paper).
 
+Mention identity is positional: each occurrence of ``p``'s co-author list
+is disambiguated separately, and candidate vertices are filtered by the
+one-mention-per-paper invariant — a vertex that already owns an occurrence
+of ``p`` is structurally barred from its later occurrences, so a paper
+listing the same name twice (two homonymous co-authors) always yields two
+distinct vertices.  This replaces the bespoke ``taken``-set guard earlier
+revisions threaded through the attachment loop.
+
 Cache hygiene: every attachment or recovered edge invalidates the profile
 caches of all vertices within ``wl_iterations`` hops of the touched
 endpoints (WL features span that radius — see
-``SimilarityComputer.invalidate``).  A paper listing the same name twice
-(two homonymous co-authors) is guarded against self-attachment: vertices
-already assigned a mention of the paper are barred as candidates for its
-later mentions.
+``SimilarityComputer.invalidate``).
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ class Assignment:
     """Outcome of disambiguating one mention of a new paper."""
 
     name: str
+    position: int  # occurrence index into the paper's co-author list
     vid: int
     created: bool  # True when a fresh vertex was created
     score: float   # best Eq. 11 score (−inf when no candidates existed)
@@ -45,7 +51,12 @@ class Assignment:
 
 @dataclass(slots=True)
 class IncrementalReport:
-    """Stream statistics: papers processed and time spent."""
+    """Stream statistics: papers processed and time spent.
+
+    ``n_mentions`` counts occurrences — a paper listing one name twice
+    contributes two mentions, matching the per-occurrence model everywhere
+    else in the pipeline.
+    """
 
     n_papers: int = 0
     n_mentions: int = 0
@@ -75,10 +86,11 @@ class IncrementalDisambiguator:
     def add_paper(self, paper: Paper) -> list[Assignment]:
         """Disambiguate every mention of ``paper`` and update the GCN.
 
-        Returns one :class:`Assignment` per author name on the paper.  The
-        paper is appended to the fitted corpus, each mention is attached to
-        the best-scoring same-name vertex (or becomes a new vertex), and the
-        paper's collaborative relations are recovered as GCN edges.
+        Returns one :class:`Assignment` per occurrence on the paper's
+        co-author list.  The paper is appended to the fitted corpus, each
+        mention is attached to the best-scoring same-name vertex (or
+        becomes a new vertex), and the paper's collaborative relations are
+        recovered as GCN edges.
         """
         t0 = time.perf_counter()
         corpus = self.iuad.corpus_
@@ -90,17 +102,8 @@ class IncrementalDisambiguator:
 
         corpus.add(paper)
         assignments: list[Assignment] = []
-        # Vertices already assigned a mention of *this* paper are barred as
-        # candidates for later mentions: a paper listing the same name twice
-        # means two distinct homonymous people, and without the guard the
-        # second mention would score against the first mention's freshly
-        # updated vertex — whose evidence is this very paper — and
-        # self-attach on no real signal.
-        taken: set[int] = set()
-        for name in paper.authors:
-            assignment = self._assign_mention(name, paper.pid, taken)
-            taken.add(assignment.vid)
-            assignments.append(assignment)
+        for position, name in enumerate(paper.authors):
+            assignments.append(self._assign_mention(name, paper.pid, position))
         # Recover the paper's collaborative relations between the assigned
         # vertices (the incremental analogue of Algorithm 1 line 16), then
         # invalidate all touched neighbourhoods in one multi-source BFS
@@ -123,21 +126,32 @@ class IncrementalDisambiguator:
         return assignments
 
     # ------------------------------------------------------------------ #
-    def _assign_mention(
-        self, name: str, pid: int, taken: frozenset[int] | set[int] = frozenset()
-    ) -> Assignment:
+    def _assign_mention(self, name: str, pid: int, position: int) -> Assignment:
         gcn = self.iuad.gcn_
         computer = self.iuad.computer_
         model = self.iuad.model_
         assert gcn is not None and computer is not None and model is not None
 
+        # One-mention-per-paper invariant as a structural candidate filter:
+        # a vertex already owning an occurrence of this paper (an earlier
+        # position of a twice-listed name) is a provably different person,
+        # and scoring it would let the second mention self-attach on the
+        # evidence of this very paper.
         candidates = [
-            vid for vid in gcn.vertices_of_name(name) if vid not in taken
+            vid
+            for vid in gcn.vertices_of_name(name)
+            if pid not in gcn.papers_of(vid)
         ]
-        probe = gcn.add_vertex(name, papers=(pid,))
+        probe = gcn.add_vertex(name, mentions=((pid, position),))
         if not candidates:
             self.report.n_created += 1
-            return Assignment(name=name, vid=probe, created=True, score=float("-inf"))
+            return Assignment(
+                name=name,
+                position=position,
+                vid=probe,
+                created=True,
+                score=float("-inf"),
+            )
         pairs = [(probe, vid) for vid in candidates]
         gammas = computer.pair_matrix(pairs)
         scores = match_scores(model, gammas)
@@ -145,18 +159,30 @@ class IncrementalDisambiguator:
         best_score = float(scores[best])
         if best_score >= self.iuad.config.incremental_delta:
             target = candidates[best]
-            gcn.add_papers(target, (pid,))
-            gcn.set_papers(probe, ())
+            gcn.add_mention(target, pid, position)
+            gcn.set_mentions(probe, ())
             self._drop_probe(probe)
             # Attaching the paper changed target's own keyword/venue
             # profile but no adjacency; the structural ball is invalidated
             # later, when add_paper inserts the recovered edges.
             computer.invalidate_papers_only(target)
             self.report.n_attached += 1
-            return Assignment(name=name, vid=target, created=False, score=best_score)
+            return Assignment(
+                name=name,
+                position=position,
+                vid=target,
+                created=False,
+                score=best_score,
+            )
         computer.invalidate(probe)
         self.report.n_created += 1
-        return Assignment(name=name, vid=probe, created=True, score=best_score)
+        return Assignment(
+            name=name,
+            position=position,
+            vid=probe,
+            created=True,
+            score=best_score,
+        )
 
     def _drop_probe(self, probe: int) -> None:
         """Remove the temporary probe vertex (it never acquired edges).

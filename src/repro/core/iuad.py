@@ -1,11 +1,23 @@
 """IUAD — the full Algorithm 1 pipeline.
 
-Stage 1 builds the stable collaboration network (high precision); Stage 2
+Stage 1 builds the stable collaboration network (high precision, per-
+occurrence mention assignment — see :mod:`repro.graphs.scn`); Stage 2
 learns the matched/unmatched mixture on a 10 % candidate sample (balanced
-by vertex splitting), scores every same-name vertex pair with Eq. 11, and
-merges pairs clearing δ into the global collaboration network.  After
-fitting, newly published papers are disambiguated incrementally (see
-:mod:`repro.core.incremental`) without retraining.
+by vertex splitting, Section V-F2), scores every same-name vertex pair
+with the six-dimensional similarity vector γ1–γ6 (γ1 WL kernel Eq. 3, γ2
+clique coincidence Eq. 5, γ3 interest cosine Eq. 6, γ4 time consistency
+Eq. 7, γ5 representative community Eq. 8, γ6 research community Eq. 9)
+combined into the Eq. 11 matching score, and merges pairs clearing δ into
+the global collaboration network.  After fitting, newly published papers
+are disambiguated incrementally (see :mod:`repro.core.incremental`)
+without retraining.
+
+Mention identity: every decision operates on occurrence-level mentions
+(``(paper, name, position)``).  Two same-name vertices owning mentions of
+one paper are two homonymous co-authors — such pairs are registered as
+:meth:`~repro.graphs.unionfind.UnionFind.forbid` cannot-links before each
+merge round, and :meth:`~repro.graphs.collab.CollaborationNetwork.merged`
+re-asserts that no component ever carries two mentions of one paper.
 
 Stage 2 performance: each merge round gathers *all* names' candidate pairs
 and scores them in one call to the batched similarity engine
@@ -33,7 +45,11 @@ from ..model.scoring import match_scores
 from ..similarity.profile import SimilarityComputer
 from ..text.embeddings import WordEmbeddings, train_title_embeddings
 from .balance import split_prolific_vertices
-from .candidates import candidate_pairs_of_name, sample_training_pairs
+from .candidates import (
+    candidate_pairs_of_name,
+    cannot_link_pairs,
+    sample_training_pairs,
+)
 from .config import IUADConfig
 
 Pair = tuple[int, int]
@@ -47,6 +63,11 @@ class FitReport:
     (``R_a`` summed over names, Section V-A); later merge rounds re-score
     the consolidated network, and those re-scored pairs are reported per
     round in ``per_round_candidate_pairs`` rather than inflating the total.
+
+    ``gcn_mentions`` counts author occurrences attributed across the final
+    network (per-occurrence mention model): it equals the corpus's
+    author–paper-pair total and ``scn.n_mentions`` — merging never loses a
+    mention.
     """
 
     scn: SCNBuildReport
@@ -56,6 +77,7 @@ class FitReport:
     n_split_pairs: int
     n_merges: int
     gcn_vertices: int
+    gcn_mentions: int
     gcn_edges: int
     stage1_seconds: float
     stage2_seconds: float
@@ -139,6 +161,13 @@ class IUAD:
         for round_index in range(cfg.merge_rounds):
             round_delta = cfg.delta if round_index == 0 else cfg.later_delta
             union = UnionFind(v.vid for v in gcn)
+            # Cannot-link constraints from the mention model: same-name
+            # vertices owning mentions of one paper are two homonymous
+            # co-authors of that paper — provably distinct, however similar
+            # their profiles look.  Registering them up front keeps the
+            # constraint component-aware through transitive union chains.
+            for cl_u, cl_v in cannot_link_pairs(gcn):
+                union.forbid(cl_u, cl_v)
             round_merges = 0
 
             # Gather every name's candidates, then score the whole round in
@@ -166,19 +195,6 @@ class IUAD:
             # the true decision-stage total.
             total_pairs = max(len(all_pairs), 1)
             merged_vids: list[int] = []
-            # Papers per union-find component, for the cannot-link guard.
-            # Tracked at component level so the constraint survives
-            # transitive chaining (t1–x and t2–x must not join t1 and t2
-            # when t1, t2 share a paper).
-            comp_papers: dict[int, set[int]] = {}
-
-            def papers_of_component(root: int) -> set[int]:
-                papers = comp_papers.get(root)
-                if papers is None:
-                    papers = set(gcn.papers_of(root))
-                    comp_papers[root] = papers
-                return papers
-
             offset = 0
             for name, pairs in name_pairs:
                 tn = time.perf_counter()
@@ -186,22 +202,16 @@ class IUAD:
                     pairs, scores[offset : offset + len(pairs)]
                 ):
                     if score >= round_delta:
-                        # Cannot-link guard: two same-name vertices that
-                        # share an attributed paper are two homonymous
-                        # co-authors of that paper — provably distinct
-                        # people, however similar their profiles look.
-                        root_u, root_v = union.find(u), union.find(v)
-                        if root_u == root_v:
+                        if union.connected(u, v):
                             # Already joined transitively — counting this
                             # as a merge would overstate merge activity
                             # and could defeat the convergence break.
                             continue
-                        papers_u = papers_of_component(root_u)
-                        papers_v = papers_of_component(root_v)
-                        if papers_u & papers_v:
+                        if not union.allowed(u, v):
+                            # Cannot-link: the components own mentions of
+                            # one paper (homonymous co-authors).
                             continue
-                        root = union.union(u, v)
-                        comp_papers[root] = papers_u | papers_v
+                        union.union(u, v)
                         merged_vids.append(u)
                         merged_vids.append(v)
                         round_merges += 1
@@ -241,6 +251,7 @@ class IUAD:
             n_split_pairs=n_split,
             n_merges=n_merges,
             gcn_vertices=len(gcn),
+            gcn_mentions=gcn.n_mentions,
             gcn_edges=gcn.n_edges,
             stage1_seconds=stage1,
             stage2_seconds=stage2,
@@ -324,22 +335,22 @@ class IUAD:
         Every paper's co-author list induces edges between the vertices that
         own its mentions; Stage 1 materialised only the stable ones, the
         rest are recovered here so the GCN is the *complete* collaboration
-        network of Definition 1.  Returns the vertices that gained an edge,
-        so the caller can invalidate exactly their profile neighbourhoods.
+        network of Definition 1.  Ownership is looked up per occurrence —
+        ``(pid, position) -> vid`` — so a paper listing one name twice
+        contributes edges for *both* homonymous co-authors.  Returns the
+        vertices that gained an edge, so the caller can invalidate exactly
+        their profile neighbourhoods.
         """
         touched: set[int] = set()
-        # A (name, pid) mention normally has one owner, but a paper listing
-        # the same name twice (two homonymous co-authors) attributes the
-        # pid to two same-name vertices — recover both vertices' edges.
-        owner: dict[tuple[str, int], list[int]] = {}
+        owner: dict[tuple[int, int], int] = {}
         for vertex in gcn:
-            for pid in vertex.papers:
-                owner.setdefault((vertex.name, pid), []).append(vertex.vid)
+            for pid, position in vertex.mentions.items():
+                owner[(pid, position)] = vertex.vid
         for paper in corpus:
             vids = [
                 vid
-                for name in dict.fromkeys(paper.authors)
-                for vid in owner.get((name, paper.pid), ())
+                for position in range(len(paper.authors))
+                if (vid := owner.get((paper.pid, position))) is not None
             ]
             for i, u in enumerate(vids):
                 for v in vids[i + 1 :]:
@@ -364,11 +375,29 @@ class IUAD:
         assert self.gcn_ is not None
         return self.gcn_.clusters_of_name(name)
 
+    def mention_clusters_of_name(self, name: str) -> dict[int, set[tuple[int, int]]]:
+        """Predicted clustering at mention granularity.
+
+        Vertex id -> set of ``(pid, position)`` units — the view the
+        positional evaluation protocol pairs against ground truth.
+        """
+        self._require_fitted()
+        assert self.gcn_ is not None
+        return self.gcn_.mention_clusters_of_name(name)
+
     def scn_clusters_of_name(self, name: str) -> dict[int, set[int]]:
         """Stage-1-only clustering (for the Table IV stage ablation)."""
         if self.scn_ is None:
             raise RuntimeError("IUAD is not fitted; call fit() first")
         return self.scn_.clusters_of_name(name)
+
+    def scn_mention_clusters_of_name(
+        self, name: str
+    ) -> dict[int, set[tuple[int, int]]]:
+        """Stage-1-only clustering at mention granularity."""
+        if self.scn_ is None:
+            raise RuntimeError("IUAD is not fitted; call fit() first")
+        return self.scn_.mention_clusters_of_name(name)
 
     def score_pairs(self, pairs: Sequence[Pair]) -> np.ndarray:
         """Eq. 11 scores of arbitrary GCN vertex pairs."""

@@ -22,7 +22,7 @@ from .powerlaw import (
     pair_frequency_distribution,
     papers_per_name_distribution,
 )
-from .records import AuthorRef, Corpus, CorpusStats, Paper
+from .records import Corpus, CorpusStats, Mention, Paper
 from .synthetic import (
     SyntheticConfig,
     SyntheticDBLP,
@@ -40,9 +40,9 @@ from .testing import (
 )
 
 __all__ = [
-    "AuthorRef",
     "Corpus",
     "CorpusStats",
+    "Mention",
     "NameStats",
     "Paper",
     "PowerLawFit",

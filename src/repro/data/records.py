@@ -1,9 +1,18 @@
-"""Core record types: papers, author references, and the corpus container.
+"""Core record types: papers, author mentions, and the corpus container.
 
 The input of IUAD (paper, Section III-A) is a paper database where every
 paper carries four attributes: the co-author list, the title, the published
 venue, and the published year.  ``Paper`` models exactly that record;
 ``Corpus`` is the indexed container the rest of the library consumes.
+
+The atomic unit of the bottom-up view is the :class:`Mention` — one author
+*occurrence* identified by ``(paper, name, position)``.  Identity is
+positional, not name-keyed: a paper may legitimately list the same name
+twice (two homonymous co-authors), and every layer of the pipeline — the
+Stage-1 SCN builder, Stage-2 candidate generation, the incremental path and
+the evaluation harness — resolves mentions at occurrence granularity, so
+the two homonyms are distinct vertices end to end (see
+``docs/architecture.md``).
 
 Ground-truth author identities (available for synthetic corpora and for
 labelled evaluation subsets) ride along in ``Paper.author_ids`` but are never
@@ -47,14 +56,10 @@ class Paper:
                 f"!= authors length {len(self.authors)}"
             )
         # A name may legitimately appear twice — two homonymous co-authors
-        # on one paper (rare but real).  Support is graded: the incremental
-        # disambiguator keeps the two mentions on distinct vertices, and
-        # Stage 2's cannot-link guard (component-aware) never merges two
-        # same-name vertices sharing a paper.  The batch Stage-1 builder,
-        # however, resolves mentions at (name, paper) granularity, so when
-        # the duplicated name is covered by an η-SCR both mentions land on
-        # one vertex — a known modelling limit (see ROADMAP).  What is
-        # malformed either way is the same ground-truth *identity* twice.
+        # on one paper (rare but real).  Mention identity is positional
+        # (:class:`Mention`), so every layer keeps the two occurrences on
+        # distinct vertices.  What *is* malformed is the same ground-truth
+        # identity listed twice: an author co-authors with themselves.
         if self.author_ids is not None and len(set(self.author_ids)) != len(
             self.author_ids
         ):
@@ -85,9 +90,8 @@ class Paper:
         """Return the ground-truth author id behind ``name`` on this paper.
 
         Raises for a name listed twice (two homonymous co-authors): the
-        name alone cannot identify the mention — use
-        :meth:`author_ids_of` or the parallel ``authors``/``author_ids``
-        tuples positionally instead.
+        name alone cannot identify the mention — use :meth:`positions_of`
+        with :meth:`author_id_at`, or :meth:`author_ids_of`, instead.
         """
         ids = self.author_ids_of(name)
         if not ids:
@@ -98,6 +102,30 @@ class Paper:
                 "mention identity is positional, not name-keyed"
             )
         return ids[0]
+
+    def positions_of(self, name: str) -> tuple[int, ...]:
+        """Co-author-list positions at which ``name`` appears.
+
+        Normally a single position; two for a paper listing homonymous
+        co-authors.  Positions are the identity axis of :class:`Mention`.
+        """
+        return tuple(i for i, n in enumerate(self.authors) if n == name)
+
+    def author_id_at(self, position: int) -> int:
+        """Ground-truth author id of the mention at ``position``."""
+        if self.author_ids is None:
+            raise ValueError(f"paper {self.pid} carries no ground-truth labels")
+        if not 0 <= position < len(self.authors):
+            raise ValueError(
+                f"paper {self.pid}: position {position} out of range "
+                f"(co-author list has {len(self.authors)} entries)"
+            )
+        return self.author_ids[position]
+
+    def mentions(self) -> Iterator["Mention"]:
+        """All author mentions of this paper, in co-author-list order."""
+        for position, name in enumerate(self.authors):
+            yield Mention(self.pid, name, position)
 
     def to_json(self) -> str:
         """Serialise to a single JSON line (see :meth:`from_json`)."""
@@ -128,15 +156,24 @@ class Paper:
 
 
 @dataclass(frozen=True, slots=True)
-class AuthorRef:
-    """One author *mention*: a (paper, name) occurrence.
+class Mention:
+    """One author *occurrence*: a ``(paper, name, position)`` triple.
 
     A mention is the atomic unit of the bottom-up view: before any merging,
     every mention is presumed to be a distinct author (paper, Section I).
+    ``position`` is the index into the paper's co-author list, which makes
+    the identity robust to homonymous co-authors — a paper listing the same
+    name twice yields two distinct mentions.
+
+    >>> from repro.data.records import Mention
+    >>> Mention(pid=7, name="Wei Wang", position=2)
+    Mention(pid=7, name='Wei Wang', position=2)
+
     """
 
     pid: int
     name: str
+    position: int
 
 
 class Corpus:
@@ -218,11 +255,10 @@ class Corpus:
         for paper in self:
             yield paper.authors
 
-    def mentions(self) -> Iterator[AuthorRef]:
-        """All author mentions in the corpus."""
+    def mentions(self) -> Iterator[Mention]:
+        """All author mentions in the corpus, per occurrence."""
         for paper in self:
-            for name in paper.authors:
-                yield AuthorRef(paper.pid, name)
+            yield from paper.mentions()
 
     @property
     def num_author_paper_pairs(self) -> int:
@@ -264,20 +300,22 @@ class Corpus:
         """Whether every paper carries ground-truth author ids."""
         return all(p.labelled for p in self)
 
-    def true_author_of(self, mention: AuthorRef) -> int:
+    def true_author_of(self, mention: Mention) -> int:
         """Ground-truth author id of a mention (labelled corpora only).
 
-        ``AuthorRef`` identifies mentions at (paper, name) granularity, so
-        for a paper listing the name twice (homonymous co-authors) this
-        resolves to the first occurrence — the same mention-model limit as
-        the testing-dataset truth (see ROADMAP).
+        :class:`Mention` identity is positional, so a paper listing the
+        same name twice resolves each occurrence to its own author.
         """
-        ids = self[mention.pid].author_ids_of(mention.name)
-        if not ids:
+        paper = self[mention.pid]
+        if (
+            not 0 <= mention.position < len(paper.authors)
+            or paper.authors[mention.position] != mention.name
+        ):
             raise ValueError(
-                f"paper {mention.pid}: no author named {mention.name!r}"
+                f"paper {mention.pid}: no mention of {mention.name!r} "
+                f"at position {mention.position}"
             )
-        return ids[0]
+        return paper.author_id_at(mention.position)
 
     def authors_of_name(self, name: str) -> set[int]:
         """Distinct ground-truth authors hiding behind ``name``."""

@@ -5,7 +5,15 @@ set: 50 ambiguous names covering 336 real authors, 1,529 papers inside the
 testing set and 3,426 papers across the whole of DBLP.  On the synthetic
 corpus we reproduce the same protocol: pick a set of genuinely ambiguous
 names (≥2 ground-truth authors) whose per-name author counts resemble
-Table II, and evaluate all pairwise metrics over the papers of those names.
+Table II, and evaluate all pairwise metrics over the mentions of those
+names.
+
+Ground truth is *positional*: the unit being labelled is the
+``(name, paper, position)`` mention, so a paper listing one name twice
+(two homonymous co-authors) contributes two separately-labelled units and
+a method is rewarded only for keeping them apart.  Evaluation-side
+clusterings use the matching ``(pid, position)`` unit (see
+``CollaborationNetwork.mention_clusters_of_name``).
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from .records import Corpus
+
+#: Evaluation unit: ``(paper id, co-author position)``.
+MentionUnit = tuple[int, int]
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,13 +47,13 @@ class TestingDataset:
     Attributes:
         names: The ambiguous names under evaluation.
         corpus: The full corpus (evaluation looks papers up here).
-        truth: ``(name, pid) -> ground-truth author id`` for every mention of
-            a target name.
+        truth: ``(name, pid, position) -> ground-truth author id`` for every
+            occurrence of a target name.
     """
 
     names: list[str]
     corpus: Corpus
-    truth: dict[tuple[str, int], int]
+    truth: dict[tuple[str, int, int], int]
 
     @property
     def num_authors(self) -> int:
@@ -52,22 +63,28 @@ class TestingDataset:
     @property
     def num_papers(self) -> int:
         """Distinct papers mentioning at least one target name."""
-        return len({pid for (_name, pid) in self.truth})
+        return len({pid for (_name, pid, _position) in self.truth})
 
     def papers_of(self, name: str) -> list[int]:
-        """Paper ids mentioning ``name``."""
+        """Paper ids on which ``name`` appears (one entry per occurrence)."""
         return self.corpus.papers_of_name(name)
 
-    def true_clusters(self, name: str) -> dict[int, list[int]]:
-        """Ground-truth clustering of ``name``'s papers: author id -> pids."""
-        clusters: dict[int, list[int]] = {}
-        for pid in self.papers_of(name):
-            aid = self.truth[(name, pid)]
-            clusters.setdefault(aid, []).append(pid)
+    def true_clusters(self, name: str) -> dict[int, list[MentionUnit]]:
+        """Ground-truth clustering of ``name``'s mentions: author id ->
+        ``(pid, position)`` units."""
+        clusters: dict[int, list[MentionUnit]] = {}
+        for pid in dict.fromkeys(self.corpus.papers_of_name(name)):
+            for position in self.corpus[pid].positions_of(name):
+                aid = self.truth[(name, pid, position)]
+                clusters.setdefault(aid, []).append((pid, position))
         return clusters
 
     def stats(self) -> list[NameStats]:
-        """Table II rows for every target name."""
+        """Table II rows for every target name.
+
+        ``num_papers`` counts mentions — identical to the paper count except
+        on homonym papers, where each occurrence is its own unit.
+        """
         rows = []
         for name in self.names:
             clusters = self.true_clusters(name)
@@ -101,7 +118,8 @@ def build_testing_dataset(
     candidates must have ``min_authors``–``max_authors`` ground-truth
     authors and at least ``min_papers`` papers.  Among the qualifying names,
     the ones with the most papers are kept (more pairs, more signal), with a
-    random tie-break.
+    random tie-break.  Truth is keyed per positional mention, so homonym
+    papers are labelled occurrence-by-occurrence.
     """
     if not corpus.labelled:
         raise ValueError("testing dataset requires a labelled corpus")
@@ -117,15 +135,12 @@ def build_testing_dataset(
         candidates.append((len(pids), rng.random(), name))
     candidates.sort(reverse=True)
     chosen = [name for (_p, _r, name) in candidates[:n_names]]
-    truth: dict[tuple[str, int], int] = {}
+    truth: dict[tuple[str, int, int], int] = {}
     for name in chosen:
-        for pid in corpus.papers_of_name(name):
-            # Truth is keyed per (name, paper) mention — the same
-            # granularity Stage 1 resolves.  A paper listing the name
-            # twice (homonymous co-authors) has two ids behind the key;
-            # the first is taken, matching the mention model's limit
-            # (see the per-occurrence item in ROADMAP.md).
-            truth[(name, pid)] = corpus[pid].author_ids_of(name)[0]
+        for pid in dict.fromkeys(corpus.papers_of_name(name)):
+            paper = corpus[pid]
+            for position in paper.positions_of(name):
+                truth[(name, pid, position)] = paper.author_id_at(position)
     return TestingDataset(names=chosen, corpus=corpus, truth=truth)
 
 
@@ -140,7 +155,7 @@ def split_for_incremental(
     papers (the most recent ones, ties broken randomly) treated as the
     newly-published stream and ``base_pids`` is everything else.
     """
-    pids = sorted({pid for (_n, pid) in dataset.truth})
+    pids = sorted({pid for (_n, pid, _position) in dataset.truth})
     if n_new_papers >= len(pids):
         raise ValueError(
             f"cannot hold out {n_new_papers} of {len(pids)} testing papers"
@@ -160,9 +175,11 @@ def render_table2(rows: Sequence[NameStats], totals: tuple[int, int]) -> str:
     return "\n".join(lines)
 
 
-def per_name_truth(dataset: TestingDataset) -> Mapping[str, dict[int, int]]:
-    """Per-name ground truth: name -> {pid -> author id}."""
-    out: dict[str, dict[int, int]] = {name: {} for name in dataset.names}
-    for (name, pid), aid in dataset.truth.items():
-        out[name][pid] = aid
+def per_name_truth(
+    dataset: TestingDataset,
+) -> Mapping[str, dict[MentionUnit, int]]:
+    """Per-name ground truth: name -> {(pid, position) -> author id}."""
+    out: dict[str, dict[MentionUnit, int]] = {name: {} for name in dataset.names}
+    for (name, pid, position), aid in dataset.truth.items():
+        out[name][(pid, position)] = aid
     return out

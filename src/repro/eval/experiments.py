@@ -25,9 +25,16 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..baselines import ANON, GHOST, Aminer, NetE, SupervisedPairwise, predict_all
+from ..baselines import (
+    ANON,
+    GHOST,
+    Aminer,
+    NetE,
+    SupervisedPairwise,
+    predict_all_mentions,
+)
 from ..core import IUAD, IUADConfig, IncrementalDisambiguator
-from ..core.candidates import candidate_pairs_of_name
+from ..core.candidates import candidate_pairs_of_name, cannot_link_pairs
 from ..data.powerlaw import (
     PowerLawFit,
     fit_power_law,
@@ -53,11 +60,15 @@ from .timing import TimingResult, time_iuad, time_per_name
 
 @dataclass(slots=True)
 class ExperimentContext:
-    """Everything the drivers need: corpus, testing subset, ground truth."""
+    """Everything the drivers need: corpus, testing subset, ground truth.
+
+    ``truth`` is positional: name -> {(pid, position) -> author id}, so
+    homonym papers are scored occurrence-by-occurrence.
+    """
 
     corpus: Corpus
     testing: TestingDataset
-    truth: Mapping[str, dict[int, int]]
+    truth: Mapping[str, dict[tuple[int, int], int]]
     train_names: list[str] = field(default_factory=list)
 
 
@@ -140,7 +151,7 @@ def run_table3(
 
     iuad = IUAD(iuad_config or IUADConfig()).fit(ctx.corpus, names=names)
     results["IUAD"] = micro_metrics(
-        {n: iuad.clusters_of_name(n) for n in names}, ctx.truth
+        {n: iuad.mention_clusters_of_name(n) for n in names}, ctx.truth
     )
     for label, method in (
         ("ANON", ANON()),
@@ -149,7 +160,7 @@ def run_table3(
         ("GHOST", GHOST()),
     ):
         results[label] = micro_metrics(
-            predict_all(method, ctx.corpus, names), ctx.truth
+            predict_all_mentions(method, ctx.corpus, names), ctx.truth
         )
     if include_supervised:
         for kind, label in (
@@ -160,7 +171,7 @@ def run_table3(
         ):
             model = SupervisedPairwise(kind).fit_names(ctx.corpus, ctx.train_names)
             results[label] = micro_metrics(
-                predict_all(model, ctx.corpus, names), ctx.truth
+                predict_all_mentions(model, ctx.corpus, names), ctx.truth
             )
     return results
 
@@ -186,10 +197,10 @@ def run_table4(
     names = ctx.testing.names
     iuad = IUAD(iuad_config or IUADConfig()).fit(ctx.corpus, names=names)
     scn = micro_metrics(
-        {n: iuad.scn_clusters_of_name(n) for n in names}, ctx.truth
+        {n: iuad.scn_mention_clusters_of_name(n) for n in names}, ctx.truth
     )
     gcn = micro_metrics(
-        {n: iuad.clusters_of_name(n) for n in names}, ctx.truth
+        {n: iuad.mention_clusters_of_name(n) for n in names}, ctx.truth
     )
     return Table4Result(scn=scn, gcn=gcn)
 
@@ -248,16 +259,15 @@ def run_fig5(
         names = [n for n in full_testing.names if corpus.papers_of_name(n)]
         truth = {
             name: {
-                # First id per (name, paper) mention — see the testing
-                # dataset builder for the homonym caveat.
-                pid: corpus[pid].author_ids_of(name)[0]
-                for pid in corpus.papers_of_name(name)
+                (pid, position): corpus[pid].author_id_at(position)
+                for pid in dict.fromkeys(corpus.papers_of_name(name))
+                for position in corpus[pid].positions_of(name)
             }
             for name in names
         }
         iuad = IUAD(IUADConfig()).fit(corpus, names=names)
         out[fraction] = micro_metrics(
-            {n: iuad.clusters_of_name(n) for n in names}, truth
+            {n: iuad.mention_clusters_of_name(n) for n in names}, truth
         )
     return out
 
@@ -287,17 +297,21 @@ def run_table6(
         base_corpus = Corpus(p for p in ctx.corpus if p.pid not in new_set)
         iuad = IUAD(iuad_config or IUADConfig()).fit(base_corpus, names=names)
         base_truth = {
-            n: {pid: a for pid, a in t.items() if pid not in new_set}
+            n: {
+                unit: a
+                for unit, a in t.items()
+                if unit[0] not in new_set
+            }
             for n, t in ctx.truth.items()
         }
         base_metrics = micro_metrics(
-            {n: iuad.clusters_of_name(n) for n in names}, base_truth
+            {n: iuad.mention_clusters_of_name(n) for n in names}, base_truth
         )
         inc = IncrementalDisambiguator(iuad)
         for pid in new_pids:
             inc.add_paper(ctx.corpus[pid])
         after_metrics = micro_metrics(
-            {n: iuad.clusters_of_name(n) for n in names}, ctx.truth
+            {n: iuad.mention_clusters_of_name(n) for n in names}, ctx.truth
         )
         rows.append(
             Table6Row(
@@ -359,6 +373,10 @@ def run_fig6(
         offset += count
 
     out: dict[str, dict[float, PairwiseCounts]] = {}
+    # Same-paper mentions (homonymous co-authors) must survive even the
+    # most permissive threshold; the SCN is immutable across the sweep,
+    # so the constraint list is computed once.
+    constraints = cannot_link_pairs(scn)
     for i, sim_name in enumerate(SIMILARITY_NAMES):
         family = (cfg.families[i],)
         model = MatchMixture(family)
@@ -366,17 +384,20 @@ def run_fig6(
         sweep: dict[float, PairwiseCounts] = {}
         for threshold in thresholds:
             union = UnionFind(v.vid for v in scn)
+            for cl_u, cl_v in constraints:
+                union.forbid(cl_u, cl_v)
             for name in names:
                 pairs = per_name_pairs[name]
                 if not pairs:
                     continue
                 scores = match_scores(model, per_name_gammas[name][:, [i]])
                 for (u, v), score in zip(pairs, scores):
-                    if score >= threshold:
+                    if score >= threshold and union.allowed(u, v):
                         union.union(u, v)
             merged = scn.merged(union)
             sweep[threshold] = micro_metrics(
-                {n: merged.clusters_of_name(n) for n in names}, ctx.truth
+                {n: merged.mention_clusters_of_name(n) for n in names},
+                ctx.truth,
             )
         out[sim_name] = sweep
     return out

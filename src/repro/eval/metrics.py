@@ -1,21 +1,28 @@
 """Pairwise micro metrics (Section VI-A2).
 
-Performance is measured over *paper pairs*: TP counts pairs correctly
+Performance is measured over *mention pairs*: TP counts pairs correctly
 predicted to share an author, FP pairs incorrectly predicted to share one,
 FN pairs incorrectly split, TN pairs correctly split.  Counts are summed
 over all evaluated names before the ratios are taken (micro-averaging), so
 prolific names do not drown the rest.
 
+The pairing unit is any hashable id shared by the predicted clustering and
+the ground truth.  The positional evaluation protocol uses
+``(pid, position)`` mention units (so a paper listing one name twice is
+scored occurrence-by-occurrence); plain paper ids — the paper's original
+protocol — remain valid for homonym-free corpora and produce identical
+numbers there.
+
 Counting uses the contingency-table identity — for cluster sizes the number
 of same-cluster pairs is ``Σ C(n, 2)`` — so evaluation is linear in the
-number of papers, not quadratic.
+number of mentions, not quadratic.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Hashable, Iterable, Mapping
 
 
 def _choose2(n: int) -> int:
@@ -72,33 +79,35 @@ class PairwiseCounts:
 
 
 def pairwise_counts(
-    predicted: Mapping[int, Iterable[int]],
-    truth: Mapping[int, int],
+    predicted: Mapping[Hashable, Iterable[Hashable]],
+    truth: Mapping[Hashable, int],
 ) -> PairwiseCounts:
     """Pair counts for one name.
 
     Args:
-        predicted: Predicted clustering — cluster id -> paper ids.  Papers
-            outside ``truth`` are ignored; papers in ``truth`` but missing
-            from ``predicted`` count as singletons (the method abstained).
-        truth: Ground truth — paper id -> author id.
+        predicted: Predicted clustering — cluster id -> mention units
+            (``(pid, position)`` tuples in the positional protocol, or bare
+            paper ids).  Units outside ``truth`` are ignored; units in
+            ``truth`` but missing from ``predicted`` count as singletons
+            (the method abstained).
+        truth: Ground truth — mention unit -> author id.
     """
-    pred_of: dict[int, object] = {}
-    for cluster_id, pids in predicted.items():
-        for pid in pids:
-            if pid in truth:
-                pred_of[pid] = cluster_id
+    pred_of: dict[Hashable, object] = {}
+    for cluster_id, units in predicted.items():
+        for unit in units:
+            if unit in truth:
+                pred_of[unit] = cluster_id
     singleton = 0
-    for pid in truth:
-        if pid not in pred_of:
-            pred_of[pid] = ("singleton", singleton)
+    for unit in truth:
+        if unit not in pred_of:
+            pred_of[unit] = ("singleton", singleton)
             singleton += 1
 
     joint: Counter[tuple[object, int]] = Counter()
     pred_sizes: Counter[object] = Counter()
     true_sizes: Counter[int] = Counter()
-    for pid, author in truth.items():
-        cluster = pred_of[pid]
+    for unit, author in truth.items():
+        cluster = pred_of[unit]
         joint[(cluster, author)] += 1
         pred_sizes[cluster] += 1
         true_sizes[author] += 1
@@ -114,8 +123,8 @@ def pairwise_counts(
 
 
 def micro_metrics(
-    per_name_predicted: Mapping[str, Mapping[int, Iterable[int]]],
-    per_name_truth: Mapping[str, Mapping[int, int]],
+    per_name_predicted: Mapping[str, Mapping[Hashable, Iterable[Hashable]]],
+    per_name_truth: Mapping[str, Mapping[Hashable, int]],
 ) -> PairwiseCounts:
     """Micro-averaged counts over many names (the Table III protocol)."""
     total = PairwiseCounts()

@@ -2,12 +2,28 @@
 
 Definition 1 of the paper: a collaboration network is a graph
 ``G = (V, E, P)`` where every vertex is an author (here: an author-identity
-hypothesis carrying a *name* and a set of papers) and every edge ``(u, v)``
-carries the set of papers ``P_uv`` co-authored by ``u`` and ``v``.
+hypothesis carrying a *name*, a set of papers, and the per-occurrence
+*mentions* it owns) and every edge ``(u, v)`` carries the set of papers
+``P_uv`` co-authored by ``u`` and ``v``.
 
 The same structure serves both stages: Stage 1 builds it from η-SCRs (high
 precision, possibly several vertices per true author), Stage 2 merges
 same-name vertices into the global collaboration network.
+
+Mention payloads
+----------------
+
+A vertex's ``mentions`` map ``pid -> position`` records which occurrence of
+the vertex's name on each paper the vertex owns (the
+:class:`~repro.data.records.Mention` identity).  The structural invariant of
+the whole pipeline lives here: **a vertex owns at most one mention per
+paper** — a real author appears at most once on any co-author list.
+:meth:`CollaborationNetwork.add_mention` enforces it on insertion, and
+:meth:`CollaborationNetwork.merged` re-checks it when components collapse,
+so two same-paper mentions (two homonymous co-authors) can never end up on
+one vertex.  ``papers`` remains the plain paper-id view that the similarity
+profiles consume; for pipeline-built networks it is exactly
+``set(mentions)``.
 """
 
 from __future__ import annotations
@@ -17,14 +33,23 @@ from typing import Iterable, Iterator
 
 from .unionfind import UnionFind
 
+#: A mention unit as stored on vertices: ``(paper id, co-author position)``.
+MentionKey = tuple[int, int]
+
 
 @dataclass(slots=True)
 class Vertex:
-    """An author-identity hypothesis: one name plus its attributed papers."""
+    """An author-identity hypothesis: one name plus its attributed papers.
+
+    ``mentions`` maps each attributed paper id to the co-author-list
+    position of the occurrence this vertex owns.  At most one position per
+    paper — an author never appears twice on one co-author list.
+    """
 
     vid: int
     name: str
     papers: set[int] = field(default_factory=set)
+    mentions: dict[int, int] = field(default_factory=dict)
 
     def __repr__(self) -> str:  # compact debugging output
         return f"Vertex({self.vid}, {self.name!r}, {sorted(self.papers)})"
@@ -48,13 +73,19 @@ class CollaborationNetwork:
     # construction
     # ------------------------------------------------------------------ #
     def add_vertex(
-        self, name: str, papers: Iterable[int] = (), vid: int | None = None
+        self,
+        name: str,
+        papers: Iterable[int] = (),
+        vid: int | None = None,
+        mentions: Iterable[MentionKey] = (),
     ) -> int:
         """Create a vertex for ``name`` and return its id.
 
         ``vid`` pins an explicit id (used by ``merged(..., preserve_ids=True)``
         so surviving vertices keep their identity across merge rounds);
-        fresh ids stay unique either way.
+        fresh ids stay unique either way.  ``mentions`` seeds the
+        per-occurrence payload — the mentioned paper ids are attributed
+        automatically.
         """
         if vid is None:
             vid = self._next_vid
@@ -63,7 +94,13 @@ class CollaborationNetwork:
             if vid in self._vertices:
                 raise ValueError(f"vertex id {vid} already exists")
             self._next_vid = max(self._next_vid, vid + 1)
-        self._vertices[vid] = Vertex(vid=vid, name=name, papers=set(papers))
+        mention_map = self._as_mention_map(vid, mentions)
+        self._vertices[vid] = Vertex(
+            vid=vid,
+            name=name,
+            papers=set(papers) | set(mention_map),
+            mentions=mention_map,
+        )
         self._by_name.setdefault(name, []).append(vid)
         self._adj[vid] = {}
         return vid
@@ -79,7 +116,7 @@ class CollaborationNetwork:
         self._vertices[v].papers.update(paper_set)
 
     def add_papers(self, vid: int, papers: Iterable[int]) -> None:
-        """Attribute extra papers to a vertex (no edge)."""
+        """Attribute extra papers to a vertex (no edge, no mention)."""
         self._vertices[vid].papers.update(papers)
 
     def set_papers(self, vid: int, papers: Iterable[int]) -> None:
@@ -91,6 +128,57 @@ class CollaborationNetwork:
         remain the collaboration evidence).
         """
         self._vertices[vid].papers = set(papers)
+
+    # ------------------------------------------------------------------ #
+    # mention payloads (per-occurrence identity)
+    # ------------------------------------------------------------------ #
+    def add_mention(self, vid: int, pid: int, position: int) -> None:
+        """Attribute the mention ``(pid, position)`` to ``vid``.
+
+        Enforces the one-mention-per-paper invariant: a vertex that already
+        owns an occurrence of ``pid`` cannot absorb a second one — the two
+        occurrences are two homonymous co-authors, provably distinct.
+        """
+        vertex = self._vertices[vid]
+        if pid in vertex.mentions:
+            raise ValueError(
+                f"vertex {vid} already owns a mention of paper {pid} "
+                f"(position {vertex.mentions[pid]}); same-paper mentions "
+                "are distinct authors"
+            )
+        vertex.mentions[pid] = position
+        vertex.papers.add(pid)
+
+    def set_mentions(self, vid: int, mentions: Iterable[MentionKey]) -> None:
+        """Overwrite a vertex's mention payload *and* paper attribution.
+
+        The final step of Stage-1 mention assignment: after it, the vertex's
+        attributed papers are exactly the papers of its mentions.
+        """
+        vertex = self._vertices[vid]
+        vertex.mentions = self._as_mention_map(vid, mentions)
+        vertex.papers = set(vertex.mentions)
+
+    def mentions_of(self, vid: int) -> dict[int, int]:
+        """``pid -> position`` of every mention owned by ``vid``."""
+        return dict(self._vertices[vid].mentions)
+
+    @property
+    def n_mentions(self) -> int:
+        """Total mentions attributed across all vertices (per occurrence)."""
+        return sum(len(v.mentions) for v in self._vertices.values())
+
+    @staticmethod
+    def _as_mention_map(vid: int, mentions: Iterable[MentionKey]) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for pid, position in mentions:
+            if pid in out:
+                raise ValueError(
+                    f"vertex {vid}: two mentions of paper {pid} "
+                    f"(positions {out[pid]} and {position})"
+                )
+            out[pid] = position
+        return out
 
     # ------------------------------------------------------------------ #
     # queries
@@ -174,10 +262,17 @@ class CollaborationNetwork:
     ) -> "CollaborationNetwork":
         """A new network with vertices merged according to ``union``.
 
-        Every union-find component becomes one vertex whose papers are the
-        union of the members' papers; parallel edges accumulate their paper
-        sets.  Only same-name merges are legal (enforced here because the
-        decision stage must never merge across names).
+        Every union-find component becomes one vertex whose papers (and
+        mentions) are the union of the members'; parallel edges accumulate
+        their paper sets.  Two structural constraints are enforced here
+        because the decision stage must never be able to violate them:
+
+        * only same-name merges are legal;
+        * no component may carry two mentions of one paper — two same-paper
+          occurrences are two homonymous co-authors, provably distinct
+          people (the decision loop refuses such unions up front via
+          :meth:`UnionFind.forbid`; this re-check is the cheap assertion
+          backing it).
 
         With ``preserve_ids=True`` each component keeps its union-find
         representative's vertex id, so vertices untouched by the round keep
@@ -206,16 +301,28 @@ class CollaborationNetwork:
             nv = rep_to_new[union.find(v) if v in union else v]
             if nu != nv:
                 out.add_edge(nu, nv, papers)
-        # add_edge grows vertex paper sets with edge supports, but edge
-        # supports may contain papers whose *mention* is attributed to a
-        # different same-name vertex; restore the exact attribution (the
-        # union of the members' attributed papers).
+        # add_edge grows vertex paper sets, but edge supports may contain
+        # papers whose *mention* is attributed to a different same-name
+        # vertex; restore the exact attribution (the union of the members'
+        # attributed papers and mentions).
         attribution: dict[int, set[int]] = {}
+        merged_mentions: dict[int, dict[int, int]] = {}
         for vid, vertex in self._vertices.items():
-            rep = union.find(vid) if vid in union else vid
-            attribution.setdefault(rep_to_new[rep], set()).update(vertex.papers)
+            new_vid = rep_to_new[union.find(vid) if vid in union else vid]
+            attribution.setdefault(new_vid, set()).update(vertex.papers)
+            target = merged_mentions.setdefault(new_vid, {})
+            for pid, position in vertex.mentions.items():
+                if pid in target and target[pid] != position:
+                    raise ValueError(
+                        f"illegal merge: component of vertex {new_vid} "
+                        f"({vertex.name!r}) would own two mentions of paper "
+                        f"{pid} (positions {target[pid]} and {position}) — "
+                        "same-paper mentions are distinct authors"
+                    )
+                target[pid] = position
         for new_vid, papers in attribution.items():
             out.set_papers(new_vid, papers)
+            out._vertices[new_vid].mentions = merged_mentions.get(new_vid, {})
         return out
 
     # ------------------------------------------------------------------ #
@@ -227,3 +334,21 @@ class CollaborationNetwork:
             vid: set(self._vertices[vid].papers)
             for vid in self.vertices_of_name(name)
         }
+
+    def mention_clusters_of_name(self, name: str) -> dict[int, set[MentionKey]]:
+        """Predicted clustering for ``name`` at mention granularity.
+
+        Vertex id -> set of ``(pid, position)`` units — the view the
+        positional evaluation protocol consumes.  Falls back to position 0
+        for papers attributed without an explicit mention payload (networks
+        built by hand), so homonym-free graphs behave identically to
+        :meth:`clusters_of_name`.
+        """
+        out: dict[int, set[MentionKey]] = {}
+        for vid in self.vertices_of_name(name):
+            vertex = self._vertices[vid]
+            units = {
+                (pid, vertex.mentions.get(pid, 0)) for pid in vertex.papers
+            }
+            out[vid] = units
+        return out

@@ -16,8 +16,20 @@ form.  Construction follows the insertion algorithm of Figure 4:
 4. Every author mention not covered by any SCR becomes an isolated
    singleton vertex (Figure 4, step v).
 
+Mention assignment is *per occurrence*: the unit being attributed is the
+``(paper, name, position)`` :class:`~repro.data.records.Mention`, not a
+``(paper, name)`` pair.  A paper listing the same name twice (two
+homonymous co-authors) therefore yields two mentions that always land on
+two distinct vertices — each paper's occurrences are assigned to disjoint
+vertices (see :meth:`SCNBuilder._assign_mentions`), which is what makes the
+downstream cannot-link constraint of Stage 2 (two same-paper mentions never
+merge) structurally checkable at the network layer.
+
 The binomial tail argument of Section IV-A (why frequent co-occurrence is
-never a coincidence) lives in :func:`independence_tail_probability`.
+never a coincidence) lives in :func:`independence_tail_probability`; the
+support threshold η of Definition 2 is the knob the whole stage hangs off.
+The similarity functions γ1–γ6 that Stage 2 computes *on top of* this
+network are documented in :mod:`repro.similarity.profile`.
 """
 
 from __future__ import annotations
@@ -35,11 +47,18 @@ NamePair = tuple[str, str]
 
 @dataclass(frozen=True, slots=True)
 class SCNBuildReport:
-    """Bookkeeping of one SCN construction run."""
+    """Bookkeeping of one SCN construction run.
+
+    ``n_mentions`` counts author occurrences (the per-occurrence mention
+    model): a paper listing one name twice contributes two mentions.  It
+    always equals the corpus's author–paper-pair total and the sum of
+    per-vertex mention payloads — the reconciliation the tests pin.
+    """
 
     eta: int
     n_scrs: int
     n_vertices: int
+    n_mentions: int
     n_edges: int
     n_isolated: int
     n_triangle_certifications: int
@@ -146,6 +165,7 @@ class SCNBuilder:
             eta=self.eta,
             n_scrs=len(scrs),
             n_vertices=len(net),
+            n_mentions=net.n_mentions,
             n_edges=net.n_edges,
             n_isolated=len(net.isolated_vertices()),
             n_triangle_certifications=self._certifications,
@@ -240,35 +260,50 @@ class SCNBuilder:
 
     # ------------------------------------------------------------------ #
     def _assign_mentions(self, net: CollaborationNetwork) -> None:
-        """Uniquely attribute every author mention to one vertex.
+        """Uniquely attribute every author *occurrence* to one vertex.
 
-        Mentions covered by an SCR edge go to the owning vertex (the one
+        The unit is the positional mention ``(paper, name, position)``.
+        Occurrences covered by an SCR edge go to the owning vertex (the one
         whose incident edge support contains the paper; ties resolved toward
-        the vertex with the larger overlap).  Uncovered mentions become
-        isolated singleton vertices (Figure 4, step v).
+        the vertex with more attributed papers, then the older vertex);
+        uncovered occurrences become isolated singleton vertices (Figure 4,
+        step v).
+
+        Within one paper, occurrences are assigned to *disjoint* vertices:
+        once a vertex owns an occurrence of the paper it is barred from the
+        paper's later occurrences, so a name listed twice (two homonymous
+        co-authors) always produces two vertices — the second occurrence
+        takes the runner-up SCR vertex, or a fresh singleton when no other
+        covering vertex exists.
         """
         # owner candidates: name -> pid -> [vid]
         owners: dict[str, dict[int, list[int]]] = defaultdict(lambda: defaultdict(list))
         for vertex in net:
             for pid in vertex.papers:
                 owners[vertex.name][pid].append(vertex.vid)
-        assigned: dict[int, set[int]] = defaultdict(set)  # vid -> pids
+        # vid -> [(pid, position)]
+        assigned: dict[int, list[tuple[int, int]]] = defaultdict(list)
         for paper in self.corpus:
-            for name in paper.authors:
-                candidates = owners.get(name, {}).get(paper.pid, [])
+            used: set[int] = set()  # vertices already given an occurrence
+            for position, name in enumerate(paper.authors):
+                candidates = [
+                    vid
+                    for vid in owners.get(name, {}).get(paper.pid, [])
+                    if vid not in used
+                ]
                 if not candidates:
-                    vid = net.add_vertex(name, papers=(paper.pid,))
-                    assigned[vid].add(paper.pid)
+                    vid = net.add_vertex(name)
                 elif len(candidates) == 1:
-                    assigned[candidates[0]].add(paper.pid)
+                    vid = candidates[0]
                 else:
-                    best = max(
+                    vid = max(
                         candidates,
                         key=lambda v: (len(net.papers_of(v)), -v),
                     )
-                    assigned[best].add(paper.pid)
+                used.add(vid)
+                assigned[vid].append((paper.pid, position))
         for vertex in net:
-            net.set_papers(vertex.vid, assigned.get(vertex.vid, set()))
+            net.set_mentions(vertex.vid, assigned.get(vertex.vid, ()))
 
 
 def build_scn(

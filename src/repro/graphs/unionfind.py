@@ -3,6 +3,21 @@
 The GCN construction stage merges same-name SCN vertices whose matching
 score clears the decision threshold δ; merges are transitive, so the final
 vertex set is the set of union-find components.
+
+Cannot-link constraints
+-----------------------
+
+Stage 2 must never merge two vertices owning mentions of the same paper —
+two same-paper occurrences of a name are two homonymous co-authors,
+provably distinct people.  Because merges are transitive, the constraint
+has to hold at *component* level (``t1–x`` and ``t2–x`` must not chain
+``t1`` and ``t2`` together), so it lives here rather than in the decision
+loop: :meth:`UnionFind.forbid` registers a cannot-link between two
+components, :meth:`UnionFind.allowed` asks whether a union would violate
+one, and :meth:`UnionFind.union` raises on a forbidden merge (callers are
+expected to check :meth:`allowed` first; the raise is the backstop
+assertion).  Constraint sets ride along with the roots as components
+merge, so transitive chains are covered for free.
 """
 
 from __future__ import annotations
@@ -18,6 +33,9 @@ class UnionFind:
     def __init__(self, keys: Iterable[Key] = ()):
         self._parent: dict[Key, Key] = {}
         self._size: dict[Key, int] = {}
+        # root -> set of roots its component must never join.  Mirrored
+        # symmetrically; empty for the (common) unconstrained case.
+        self._forbidden: dict[Key, set[Key]] = {}
         for key in keys:
             self.add(key)
 
@@ -42,15 +60,52 @@ class UnionFind:
             self._parent[key], key = root, self._parent[key]
         return root
 
+    def forbid(self, a: Key, b: Key) -> None:
+        """Register a cannot-link: the sets of ``a`` and ``b`` must never merge.
+
+        Raises if the two keys are already in one set (the constraint is
+        unenforceable after the fact).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            raise ValueError(
+                f"cannot-link between {a!r} and {b!r}: already in one set"
+            )
+        self._forbidden.setdefault(ra, set()).add(rb)
+        self._forbidden.setdefault(rb, set()).add(ra)
+
+    def allowed(self, a: Key, b: Key) -> bool:
+        """Whether merging the sets of ``a`` and ``b`` would violate a
+        cannot-link (component-aware, so transitive chains are covered)."""
+        if not self._forbidden:
+            return True
+        return self.find(b) not in self._forbidden.get(self.find(a), ())
+
     def union(self, a: Key, b: Key) -> Key:
-        """Merge the sets of ``a`` and ``b``; returns the surviving root."""
+        """Merge the sets of ``a`` and ``b``; returns the surviving root.
+
+        Raises on a merge forbidden by :meth:`forbid` — check
+        :meth:`allowed` first when skipping is the intended behaviour.
+        """
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
+        if rb in self._forbidden.get(ra, ()):
+            raise ValueError(
+                f"cannot-link violated: union of {a!r} and {b!r}"
+            )
         if self._size[ra] < self._size[rb]:
             ra, rb = rb, ra
         self._parent[rb] = ra
         self._size[ra] += self._size[rb]
+        if self._forbidden:
+            absorbed = self._forbidden.pop(rb, None)
+            if absorbed:
+                mine = self._forbidden.setdefault(ra, set())
+                for other in absorbed:
+                    self._forbidden[other].discard(rb)
+                    self._forbidden[other].add(ra)
+                    mine.add(other)
         return ra
 
     def connected(self, a: Key, b: Key) -> bool:

@@ -8,16 +8,27 @@ triangles) is interned into a global column space and stored as aligned
 ``(column, value)`` arrays — and evaluates all six similarity functions for
 an entire pair list with numpy/scipy sparse kernels:
 
-======  ============================  =======================================
-γ       per-pair form                 batched form
-======  ============================  =======================================
-γ1      WL feature-map dot product    CSR row slice · elementwise multiply
-γ2      triangle-set intersection     binary CSR multiply, row sums
-γ3      centroid / multiset cosine    dense einsum with sparse-cosine fallback
-γ4      shared-keyword year decay     aligned COO data arrays + ``bincount``
-γ5      representative-venue counts   vectorised CSR element lookup
-γ6      venue Adamic/Adar overlap     aligned COO minimum + ``bincount``
-======  ============================  =======================================
+======  =======  ============================  ===============================
+γ       paper    per-pair form                 batched form
+======  =======  ============================  ===============================
+γ1      Eq. 3    WL feature-map dot product    CSR row slice · elementwise
+                                               multiply
+γ2      Eq. 5    triangle-set intersection     binary CSR multiply, row sums
+γ3      Eq. 6    centroid / multiset cosine    dense einsum with
+                                               sparse-cosine fallback
+γ4      Eq. 7    shared-keyword year decay     aligned COO data arrays +
+                                               ``bincount``
+γ5      Eq. 8    representative-venue counts   vectorised CSR element lookup
+γ6      Eq. 9    venue Adamic/Adar overlap     aligned COO minimum +
+                                               ``bincount``
+======  =======  ============================  ===============================
+
+Identity model: profiles (and hence the columnar mirrors) are keyed by
+*vertex id*, and a vertex's papers are derived from its per-occurrence
+mention payload (``(paper, name, position)`` — see
+:mod:`repro.graphs.collab`).  Two homonymous co-authors of one paper are
+two vertices, so their mirrors never alias even though the underlying
+paper and name coincide.
 
 Cache semantics: the engine caches one :class:`VertexArrays` per vertex id,
 derived from the corresponding :class:`~.profile.VertexProfile`.  The owner

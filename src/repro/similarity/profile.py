@@ -3,16 +3,21 @@
 Stage 2 (Section V-B) scores every candidate pair of same-name SCN vertices
 with a similarity vector ``γ = (γ1 … γ6)``:
 
-======  ===================================  =========================
-γ       What it measures                     Module
-======  ===================================  =========================
-γ1      normalised WL sub-graph kernel       :mod:`..graphs.wl`
-γ2      co-author clique coincidence ratio   :mod:`.structural`
-γ3      research-interest cosine             :mod:`.interests`
-γ4      time consistency of interests        :mod:`.interests`
-γ5      representative-community similarity  :mod:`.community`
-γ6      research-community (Adamic/Adar)     :mod:`.community`
-======  ===================================  =========================
+======  =======  ===================================  =========================
+γ       paper    What it measures                     Module
+======  =======  ===================================  =========================
+γ1      Eq. 3    normalised WL sub-graph kernel       :mod:`..graphs.wl`
+γ2      Eq. 5    co-author clique coincidence ratio   :mod:`.structural`
+γ3      Eq. 6    research-interest cosine             :mod:`.interests`
+γ4      Eq. 7    time consistency of interests        :mod:`.interests`
+γ5      Eq. 8    representative-community similarity  :mod:`.community`
+γ6      Eq. 9    research-community (Adamic/Adar)     :mod:`.community`
+======  =======  ===================================  =========================
+
+Profiles are built from a vertex's attributed papers, which under the
+per-occurrence mention model are exactly the papers of the mentions the
+vertex owns — one occurrence per paper, so a homonym paper contributes its
+title/venue/year evidence to *both* co-author vertices, once each.
 
 A :class:`VertexProfile` caches everything a vertex contributes to those
 functions (keywords, venues, years, triangles, WL features), so that the

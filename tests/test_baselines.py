@@ -12,6 +12,7 @@ from repro.baselines import (
     SupervisedPairwise,
     pair_features,
     predict_all,
+    predict_all_mentions,
     training_pairs_from_names,
     views_of_name,
 )
@@ -121,7 +122,9 @@ class TestSupervised:
     def test_beats_random_on_testing_names(self, trained, small_corpus):
         model, td = trained
         truth = per_name_truth(td)
-        m = micro_metrics(predict_all(model, small_corpus, td.names), truth)
+        m = micro_metrics(
+            predict_all_mentions(model, small_corpus, td.names), truth
+        )
         assert m.f1 > 0.4
 
 

@@ -107,14 +107,18 @@ class TestTestingDataset:
         td = build_testing_dataset(small_corpus, n_names=10)
         for name in td.names:
             for pid in small_corpus.papers_of_name(name):
-                assert (name, pid) in td.truth
+                for position in small_corpus[pid].positions_of(name):
+                    assert (name, pid, position) in td.truth
 
-    def test_true_clusters_partition_papers(self, small_corpus):
+    def test_true_clusters_partition_mentions(self, small_corpus):
         td = build_testing_dataset(small_corpus, n_names=5)
         for name in td.names:
             clusters = td.true_clusters(name)
-            flat = [p for pids in clusters.values() for p in pids]
-            assert sorted(flat) == sorted(td.papers_of(name))
+            flat = [unit for units in clusters.values() for unit in units]
+            assert len(flat) == len(set(flat))  # units are disjoint
+            # One unit per occurrence: the pid multiset matches the
+            # (per-occurrence) name index of the corpus.
+            assert sorted(pid for pid, _pos in flat) == sorted(td.papers_of(name))
 
     def test_split_for_incremental(self, small_corpus):
         td = build_testing_dataset(small_corpus, n_names=10)

@@ -1,0 +1,29 @@
+"""Docs contract: intra-repo markdown links resolve, doctest examples pass.
+
+The same checks gate CI via the ``docs`` job (``python tools/check_docs.py``);
+running them in the tier-1 suite keeps local development honest too.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_no_broken_markdown_links():
+    assert check_docs.check_markdown_links() == []
+
+
+def test_doctest_examples_pass():
+    assert check_docs.run_doctests() == []
+
+
+def test_architecture_doc_exists_and_is_linked():
+    """The pipeline architecture doc must exist and be reachable from the
+    README (the acceptance criterion of the docs satellite)."""
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme

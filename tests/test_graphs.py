@@ -39,6 +39,45 @@ class TestUnionFind:
         uf.add("x")
         assert len(uf) == 1
 
+    def test_forbid_blocks_direct_union(self):
+        uf = UnionFind(range(4))
+        uf.forbid(0, 1)
+        assert not uf.allowed(0, 1)
+        assert uf.allowed(0, 2)
+        with pytest.raises(ValueError, match="cannot-link"):
+            uf.union(0, 1)
+
+    def test_forbid_is_component_aware(self):
+        """t1–x then t2–x must not chain t1 and t2 past their cannot-link."""
+        uf = UnionFind([0, 1, 2])
+        uf.forbid(0, 1)
+        uf.union(0, 2)
+        assert not uf.allowed(1, 2)  # 2 is now in 0's component
+        with pytest.raises(ValueError, match="cannot-link"):
+            uf.union(1, 2)
+        assert not uf.connected(0, 1)
+
+    def test_forbid_survives_third_party_unions(self):
+        uf = UnionFind(range(6))
+        uf.forbid(0, 1)
+        uf.union(2, 3)
+        uf.union(0, 3)   # grows 0's component through 2–3
+        uf.union(1, 5)
+        assert not uf.allowed(5, 2)
+        assert uf.allowed(4, 2)
+
+    def test_forbid_rejects_already_joined(self):
+        uf = UnionFind([0, 1])
+        uf.union(0, 1)
+        with pytest.raises(ValueError, match="already in one set"):
+            uf.forbid(0, 1)
+
+    def test_union_of_same_component_is_noop_with_constraints(self):
+        uf = UnionFind(range(3))
+        uf.forbid(0, 2)
+        uf.union(0, 1)
+        assert uf.union(1, 0) == uf.find(0)
+
     @given(
         edges=st.lists(
             st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
@@ -170,6 +209,61 @@ class TestCollaborationNetwork:
         assert net.add_vertex("b") == 8
         with pytest.raises(ValueError, match="already exists"):
             net.add_vertex("c", vid=7)
+
+
+class TestMentionPayloads:
+    def test_add_vertex_with_mentions_attributes_papers(self):
+        net = CollaborationNetwork()
+        v = net.add_vertex("a", mentions=((0, 1), (3, 0)))
+        assert net.papers_of(v) == {0, 3}
+        assert net.mentions_of(v) == {0: 1, 3: 0}
+        assert net.n_mentions == 2
+
+    def test_one_mention_per_paper_invariant(self):
+        net = CollaborationNetwork()
+        v = net.add_vertex("a", mentions=((0, 0),))
+        with pytest.raises(ValueError, match="already owns a mention"):
+            net.add_mention(v, 0, 1)
+        with pytest.raises(ValueError, match="two mentions of paper"):
+            net.add_vertex("b", mentions=((5, 0), (5, 1)))
+
+    def test_set_mentions_resets_attribution(self):
+        net = CollaborationNetwork()
+        v = net.add_vertex("a", papers=(9,))
+        net.set_mentions(v, ((1, 0), (2, 1)))
+        assert net.papers_of(v) == {1, 2}
+        net.set_mentions(v, ())
+        assert net.papers_of(v) == set()
+        assert net.mentions_of(v) == {}
+
+    def test_merged_propagates_mentions(self):
+        net = CollaborationNetwork()
+        x1 = net.add_vertex("x", mentions=((0, 0),))
+        x2 = net.add_vertex("x", mentions=((1, 2),))
+        uf = UnionFind([x1, x2])
+        uf.union(x1, x2)
+        merged = net.merged(uf)
+        (xm,) = merged.vertices_of_name("x")
+        assert merged.mentions_of(xm) == {0: 0, 1: 2}
+
+    def test_merged_rejects_same_paper_mentions(self):
+        """The cheap assertion backing the Stage-2 cannot-link: a component
+        holding two occurrences of one paper can never materialise."""
+        net = CollaborationNetwork()
+        t1 = net.add_vertex("x", mentions=((0, 0),))
+        t2 = net.add_vertex("x", mentions=((0, 1),))
+        uf = UnionFind([t1, t2])
+        uf.union(t1, t2)
+        with pytest.raises(ValueError, match="two mentions of paper"):
+            net.merged(uf)
+
+    def test_mention_clusters_fall_back_to_position_zero(self):
+        net = CollaborationNetwork()
+        v = net.add_vertex("a", papers=(4,))  # hand-built: no payload
+        w = net.add_vertex("a", mentions=((7, 1),))
+        clusters = net.mention_clusters_of_name("a")
+        assert clusters[v] == {(4, 0)}
+        assert clusters[w] == {(7, 1)}
 
 
 class TestTriangles:

@@ -133,13 +133,13 @@ class TestIncrementalQuality:
             for n, t in truth.items()
         }
         before = micro_metrics(
-            {n: iuad.clusters_of_name(n) for n in td.names}, base_truth
+            {n: iuad.mention_clusters_of_name(n) for n in td.names}, base_truth
         )
         inc = IncrementalDisambiguator(iuad)
         for pid in new_pids:
             inc.add_paper(small_corpus[pid])
         after = micro_metrics(
-            {n: iuad.clusters_of_name(n) for n in td.names}, truth
+            {n: iuad.mention_clusters_of_name(n) for n in td.names}, truth
         )
         assert after.f1 >= before.f1 - 0.1
 

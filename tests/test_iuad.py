@@ -39,10 +39,10 @@ class TestFit:
         iuad, td = fitted
         truth = per_name_truth(td)
         scn_m = micro_metrics(
-            {n: iuad.scn_clusters_of_name(n) for n in td.names}, truth
+            {n: iuad.scn_mention_clusters_of_name(n) for n in td.names}, truth
         )
         gcn_m = micro_metrics(
-            {n: iuad.clusters_of_name(n) for n in td.names}, truth
+            {n: iuad.mention_clusters_of_name(n) for n in td.names}, truth
         )
         assert gcn_m.recall >= scn_m.recall
         assert gcn_m.f1 >= scn_m.f1
@@ -107,9 +107,9 @@ class TestFit:
 
     def test_fit_handles_duplicate_name_papers(self, small_corpus):
         """A corpus containing a homonymous co-author pair (same name twice
-        on one paper) must fit cleanly: Stage 1 works per distinct
-        (name, paper) mention, and the cannot-link guard keeps same-name
-        vertices sharing a paper unmerged."""
+        on one paper) must fit cleanly: Stage 1 assigns mentions per
+        occurrence, and the cannot-link constraint keeps same-name vertices
+        sharing a paper unmerged."""
         from repro.data.records import Corpus, Paper
 
         extra = Paper(
@@ -141,6 +141,31 @@ class TestFit:
         )
         assert iuad.gcn_.has_edge(u, other)
         assert iuad.gcn_.has_edge(v, other)
+
+    def test_reports_count_mentions_per_occurrence(self, small_corpus):
+        """Satellite: SCNBuildReport / FitReport mention totals must match
+        the per-occurrence model on a corpus with a homonym paper."""
+        from repro.data.records import Corpus, Paper
+
+        extra = Paper(
+            pid=10**6,
+            authors=("Zz Twin", "Zz Twin", "Other Person"),
+            title="homonymous coauthors counted twice",
+            venue="DUP-V",
+            year=2015,
+        )
+        corpus = Corpus(list(small_corpus) + [extra])
+        iuad = IUAD(IUADConfig(merge_rounds=1)).fit(corpus)
+        report = iuad.report_
+        # One mention per occurrence: the duplicated name contributes two.
+        expected = corpus.num_author_paper_pairs
+        assert expected == small_corpus.num_author_paper_pairs + 3
+        assert report.scn.n_mentions == expected
+        assert report.gcn_mentions == expected
+        assert report.gcn_mentions == iuad.gcn_.n_mentions
+        assert report.gcn_mentions == sum(
+            len(v.mentions) for v in iuad.gcn_
+        )
 
     def test_cannot_link_guard_is_transitive(self, small_corpus):
         """Regression: the guard must hold at *component* level.  With a
@@ -180,10 +205,10 @@ class TestFit:
         one = IUAD(IUADConfig(merge_rounds=1)).fit(small_corpus, names=td.names)
         two = IUAD(IUADConfig(merge_rounds=2)).fit(small_corpus, names=td.names)
         r1 = micro_metrics(
-            {n: one.clusters_of_name(n) for n in td.names}, truth
+            {n: one.mention_clusters_of_name(n) for n in td.names}, truth
         ).recall
         r2 = micro_metrics(
-            {n: two.clusters_of_name(n) for n in td.names}, truth
+            {n: two.mention_clusters_of_name(n) for n in td.names}, truth
         ).recall
         assert r2 >= r1
 

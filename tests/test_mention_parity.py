@@ -1,0 +1,165 @@
+"""Batch-vs-incremental parity on a corpus with a duplicate-name paper.
+
+The per-occurrence mention model makes the two execution modes agree: a
+paper listing one name twice (two homonymous co-authors) is handled
+identically whether it is present at ``IUAD.fit`` time (batch Stage 1
+assigns each occurrence to its own vertex; Stage 2's cannot-link refuses to
+merge them) or streamed through :class:`IncrementalDisambiguator` (the
+one-mention-per-paper invariant bars the second occurrence from the first
+occurrence's vertex).  End-to-end: same clusters, same eval metrics.
+"""
+
+import pytest
+
+from repro.core import IUAD, IUADConfig, IncrementalDisambiguator
+from repro.data.records import Corpus, Paper
+from repro.eval import micro_metrics
+
+#: Swallows every score: all candidate pairs merge except cannot-links, so
+#: the merge outcome is independent of the learned model's exact numbers
+#: and the two paths (whose training corpora differ by the one streamed
+#: paper) are exactly comparable.
+MERGE_ALL = float("-1e9")
+
+HOMONYM_PID = 999
+
+
+def _base_papers() -> list[Paper]:
+    """Two well-separated communities sharing the ambiguous name 'X Y'."""
+    vldb = [
+        ("P A", "query index join", 2000),
+        ("P A", "index storage btree", 2001),
+        ("P A", "query plan cache", 2002),
+        ("Q B", "transaction recovery log", 2001),
+        ("Q B", "query optimization cost", 2002),
+        ("Q B", "storage engine design", 2003),
+    ]
+    cvpr = [
+        ("R C", "image segmentation", 2000),
+        ("R C", "object detection scene", 2001),
+        ("R C", "image feature matching", 2002),
+        ("S D", "stereo depth tracking", 2001),
+        ("S D", "pose recognition video", 2002),
+        ("S D", "scene flow estimation", 2003),
+    ]
+    papers = []
+    pid = 0
+    for coauthor, title, year in vldb:
+        papers.append(
+            Paper(pid, ("X Y", coauthor), title, "VLDB", year, (100, {"P A": 1, "Q B": 2}[coauthor]))
+        )
+        pid += 1
+    for coauthor, title, year in cvpr:
+        papers.append(
+            Paper(pid, ("X Y", coauthor), title, "CVPR", year, (200, {"R C": 3, "S D": 4}[coauthor]))
+        )
+        pid += 1
+    return papers
+
+
+def _homonym_paper() -> Paper:
+    """A brand-new name listed twice: two homonymous co-authors."""
+    return Paper(
+        pid=HOMONYM_PID,
+        authors=("Zz Dup", "Zz Dup"),
+        title="joint homonym manifesto",
+        venue="NEWV",
+        year=2010,
+        author_ids=(900, 901),
+    )
+
+
+def _config() -> IUADConfig:
+    return IUADConfig(
+        delta=MERGE_ALL,
+        incremental_delta=MERGE_ALL,
+        merge_rounds=1,
+        use_embeddings=False,
+        balance_split=False,
+        sample_rate=1.0,
+    )
+
+
+def _truth(corpus: Corpus) -> dict[str, dict[tuple[int, int], int]]:
+    out: dict[str, dict[tuple[int, int], int]] = {}
+    for paper in corpus:
+        for position, name in enumerate(paper.authors):
+            out.setdefault(name, {})[(paper.pid, position)] = paper.author_id_at(
+                position
+            )
+    return out
+
+
+def _clusterings(iuad: IUAD, names) -> dict[str, frozenset[frozenset]]:
+    return {
+        name: frozenset(
+            frozenset(units)
+            for units in iuad.mention_clusters_of_name(name).values()
+        )
+        for name in names
+    }
+
+
+@pytest.fixture(scope="module")
+def parity():
+    full_corpus = Corpus(_base_papers() + [_homonym_paper()])
+    batch = IUAD(_config()).fit(full_corpus)
+
+    base_corpus = Corpus(_base_papers())
+    streamed = IUAD(_config()).fit(base_corpus)
+    inc = IncrementalDisambiguator(streamed)
+    inc.add_paper(_homonym_paper())
+    return batch, streamed, full_corpus
+
+
+class TestBatchIncrementalParity:
+    def test_identical_clusterings(self, parity):
+        batch, streamed, full_corpus = parity
+        names = sorted(full_corpus.names)
+        assert _clusterings(batch, names) == _clusterings(streamed, names)
+
+    def test_homonym_occurrences_on_distinct_vertices(self, parity):
+        batch, streamed, _full = parity
+        for iuad in (batch, streamed):
+            clusters = iuad.mention_clusters_of_name("Zz Dup")
+            assert len(clusters) == 2
+            assert sorted(clusters.values(), key=sorted) == [
+                {(HOMONYM_PID, 0)},
+                {(HOMONYM_PID, 1)},
+            ]
+            # ... and their collaboration on the paper is an edge.
+            u, v = clusters
+            assert iuad.gcn_.has_edge(u, v)
+
+    def test_identical_eval_metrics(self, parity):
+        batch, streamed, full_corpus = parity
+        truth = _truth(full_corpus)
+        names = sorted(truth)
+        batch_m = micro_metrics(
+            {n: batch.mention_clusters_of_name(n) for n in names}, truth
+        )
+        inc_m = micro_metrics(
+            {n: streamed.mention_clusters_of_name(n) for n in names}, truth
+        )
+        assert (batch_m.tp, batch_m.fp, batch_m.fn, batch_m.tn) == (
+            inc_m.tp,
+            inc_m.fp,
+            inc_m.fn,
+            inc_m.tn,
+        )
+
+    def test_merge_pressure_collapses_everything_but_homonyms(self, parity):
+        """MERGE_ALL merges every same-name pair it is allowed to — only
+        the cannot-linked homonym pair survives as two clusters."""
+        batch, _streamed, _full = parity
+        assert len(batch.mention_clusters_of_name("X Y")) == 1
+        assert len(batch.mention_clusters_of_name("Zz Dup")) == 2
+
+    def test_mention_totals_match_corpus(self, parity):
+        batch, streamed, full_corpus = parity
+        expected = full_corpus.num_author_paper_pairs
+        assert batch.report_.scn.n_mentions == expected
+        assert batch.report_.gcn_mentions == expected
+        assert batch.gcn_.n_mentions == expected
+        # The streamed path reaches the same total after the stream.
+        assert streamed.gcn_.n_mentions == expected

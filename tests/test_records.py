@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data.records import AuthorRef, Corpus, CorpusStats, Paper
+from repro.data.records import Corpus, CorpusStats, Mention, Paper
 
 
 def make_paper(pid=0, authors=("A", "B"), ids=None):
@@ -56,9 +56,33 @@ class TestPaper:
         paper = make_paper(authors=("A", "A"), ids=(1, 2))
         corpus = Corpus([paper])
         mentions = list(corpus.mentions())
-        # (pid, name)-keyed mentions resolve to the first occurrence —
-        # the documented mention-model granularity — without raising.
-        assert all(corpus.true_author_of(m) == 1 for m in mentions)
+        # Mention identity is positional: each occurrence resolves to its
+        # own ground-truth author.
+        assert [corpus.true_author_of(m) for m in mentions] == [1, 2]
+
+    def test_true_author_of_rejects_mismatched_mention(self):
+        paper = make_paper(ids=(7, 9))
+        corpus = Corpus([paper])
+        with pytest.raises(ValueError, match="no mention"):
+            corpus.true_author_of(Mention(0, "A", 1))  # position 1 is "B"
+        with pytest.raises(ValueError, match="no mention"):
+            corpus.true_author_of(Mention(0, "A", 5))
+
+    def test_positions_of_and_author_id_at(self):
+        paper = make_paper(authors=("A", "B", "A"), ids=(1, 2, 3))
+        assert paper.positions_of("A") == (0, 2)
+        assert paper.positions_of("B") == (1,)
+        assert paper.positions_of("missing") == ()
+        assert [paper.author_id_at(p) for p in paper.positions_of("A")] == [1, 3]
+        with pytest.raises(ValueError, match="out of range"):
+            paper.author_id_at(3)
+
+    def test_paper_mentions_are_positional(self):
+        paper = make_paper(authors=("A", "A"))
+        assert list(paper.mentions()) == [
+            Mention(0, "A", 0),
+            Mention(0, "A", 1),
+        ]
 
     def test_author_id_of_unlabelled_raises(self):
         with pytest.raises(ValueError, match="no ground-truth"):
@@ -99,7 +123,7 @@ class TestCorpus:
     def test_transactions_and_mentions(self):
         corpus = Corpus([make_paper(0)])
         assert list(corpus.transactions()) == [("A", "B")]
-        assert list(corpus.mentions()) == [AuthorRef(0, "A"), AuthorRef(0, "B")]
+        assert list(corpus.mentions()) == [Mention(0, "A", 0), Mention(0, "B", 1)]
 
     def test_subset_fraction(self, small_corpus):
         half = small_corpus.subset(0.5, seed=1)

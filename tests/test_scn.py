@@ -91,22 +91,100 @@ class TestFigure2Construction:
 
 
 class TestMentionAssignment:
-    def test_every_mention_assigned_exactly_once(self, small_corpus):
+    def test_every_occurrence_assigned_exactly_once(self, small_corpus):
         net, _ = build_scn(small_corpus, eta=2)
-        seen: dict[tuple[str, int], int] = {}
+        seen: dict[tuple[int, int], int] = {}
         for vertex in net:
-            for pid in vertex.papers:
-                key = (vertex.name, pid)
+            for pid, position in vertex.mentions.items():
+                key = (pid, position)
                 assert key not in seen, f"mention {key} owned twice"
                 seen[key] = vertex.vid
         total_mentions = small_corpus.num_author_paper_pairs
         assert len(seen) == total_mentions
 
-    def test_vertex_papers_contain_vertex_name(self, small_corpus):
+    def test_vertex_papers_match_mentions(self, small_corpus):
         net, _ = build_scn(small_corpus, eta=2)
         for vertex in net:
-            for pid in vertex.papers:
-                assert vertex.name in small_corpus[pid].authors
+            assert vertex.papers == set(vertex.mentions)
+            for pid, position in vertex.mentions.items():
+                assert small_corpus[pid].authors[position] == vertex.name
+
+
+class TestHomonymAssignment:
+    """Per-occurrence mention model: a paper listing one name twice."""
+
+    @pytest.fixture()
+    def homonym_corpus(self) -> Corpus:
+        # Name "x" has two SCR-covered vertices (via partners p and q);
+        # paper 4 lists "x" twice — two homonymous co-authors.
+        rows = [
+            ("x", "p"),
+            ("x", "p"),
+            ("x", "q"),
+            ("x", "q"),
+            ("x", "x", "p", "q"),
+        ]
+        return Corpus(
+            Paper(
+                pid=i,
+                authors=authors,
+                title=f"paper {i}",
+                venue="V",
+                year=2000 + i,
+            )
+            for i, authors in enumerate(rows)
+        )
+
+    def test_occurrences_land_on_distinct_scr_vertices(self, homonym_corpus):
+        """Regression for the (name, paper) conflation: when the duplicated
+        name is covered by η-SCRs, the two occurrences must land on two
+        distinct vertices, not be folded onto one."""
+        net, _ = build_scn(homonym_corpus, eta=2)
+        owners = [
+            vid for vid in net.vertices_of_name("x") if 4 in net.papers_of(vid)
+        ]
+        assert len(owners) == 2
+        positions = sorted(net.mentions_of(vid)[4] for vid in owners)
+        assert positions == [0, 1]
+        # The first occurrence goes to the preferred (older, equal-paper)
+        # SCR vertex, the second to the runner-up — never a fresh singleton
+        # while a covering vertex is free.
+        for vid in owners:
+            assert len(net.papers_of(vid)) == 3
+
+    def test_second_occurrence_falls_back_to_singleton(self):
+        """With a single covering vertex, the later occurrence opens a
+        fresh singleton instead of double-attributing the paper."""
+        corpus = Corpus(
+            [
+                Paper(0, ("x", "p"), "t0", "V", 2000),
+                Paper(1, ("x", "p"), "t1", "V", 2001),
+                Paper(2, ("x", "x", "p"), "t2", "V", 2002),
+            ]
+        )
+        net, _ = build_scn(corpus, eta=2)
+        owners = {
+            vid: net.mentions_of(vid)[2]
+            for vid in net.vertices_of_name("x")
+            if 2 in net.papers_of(vid)
+        }
+        assert len(owners) == 2
+        assert sorted(owners.values()) == [0, 1]
+        singleton = next(
+            vid for vid, pos in owners.items() if len(net.papers_of(vid)) == 1
+        )
+        assert owners[singleton] == 1  # the *second* occurrence split off
+
+    def test_report_counts_mentions_per_occurrence(self, homonym_corpus):
+        """Satellite: SCNBuildReport totals must reconcile with the
+        per-occurrence model on a homonym corpus."""
+        net, report = build_scn(homonym_corpus, eta=2)
+        # 2+2+2+2+4 author-paper pairs, the duplicate name counted twice.
+        assert report.n_mentions == 12
+        assert report.n_mentions == homonym_corpus.num_author_paper_pairs
+        assert report.n_mentions == net.n_mentions
+        assert report.n_mentions == sum(len(v.mentions) for v in net)
+        assert report.n_vertices == len(net) == 4
 
 
 class TestKnobs:

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Docs checks: intra-repo markdown links + doctest examples.
+
+Run from anywhere:  python tools/check_docs.py
+
+Two checks, both CI-gating (see the ``docs`` job in
+``.github/workflows/ci.yml`` and ``tests/test_docs.py`` which runs the
+same code in the tier-1 suite):
+
+1. every relative link target in the repo's markdown files must exist
+   (``http(s)://``, ``mailto:`` and pure-anchor links are skipped);
+2. the doctest examples listed in :data:`DOCTEST_FILES` must pass — most
+   importantly the homonym-paper example in ``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories never scanned for markdown (VCS, tool caches, and local
+#: environments whose vendored READMEs the repo does not own).
+SKIP_DIRS = {
+    ".git",
+    ".claude",
+    "__pycache__",
+    ".pytest_cache",
+    "node_modules",
+    ".venv",
+    "venv",
+    ".tox",
+    "build",
+    "dist",
+}
+
+#: Files whose doctest examples are part of the docs contract.
+DOCTEST_FILES = (
+    "examples/quickstart.py",
+    "src/repro/data/records.py",
+)
+
+#: ``[text](target)`` — good enough for the plain links these docs use
+#: (no support needed for titles or angle-bracket targets).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes (and pseudo-targets) that are not filesystem paths.
+_EXTERNAL = re.compile(r"^(https?:|mailto:|#)")
+
+
+def iter_markdown_files() -> list[Path]:
+    out = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            out.append(path)
+    return out
+
+
+def check_markdown_links() -> list[str]:
+    """Return one error string per broken intra-repo link."""
+    errors: list[str] = []
+    for md in iter_markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if _EXTERNAL.match(target):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(REPO_ROOT)
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def run_doctests() -> list[str]:
+    """Return one error string per failing doctest file."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    errors: list[str] = []
+    for rel in DOCTEST_FILES:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            errors.append(f"{rel}: doctest target missing")
+            continue
+        # testfile in raw-text mode finds every >>> example in the file
+        # (module docstrings included) without importing it as __main__.
+        results = doctest.testfile(
+            str(path), module_relative=False, verbose=False
+        )
+        if results.failed:
+            errors.append(
+                f"{rel}: {results.failed} of {results.attempted} "
+                "doctest examples failed"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_markdown_links() + run_doctests()
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if not errors:
+        md_count = len(iter_markdown_files())
+        print(
+            f"check_docs: OK ({md_count} markdown files, "
+            f"{len(DOCTEST_FILES)} doctest files)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
