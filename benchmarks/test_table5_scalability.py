@@ -4,12 +4,28 @@ Paper: IUAD is fastest at every scale (2.6 s/name at 100 %), Aminer is the
 fastest baseline, GHOST is slowest and degrades super-linearly (183 s/name).
 Shape facts: IUAD beats the baseline *average* at full scale, GHOST and
 ANON cost grows with scale, everyone's time grows with the corpus.
+
+The sharded variant compares a single-process ``IUAD.fit`` on the bench's
+largest synthetic corpus against ``ShardedIUAD.fit`` with four workers,
+pins shard-vs-global parity, and records both wall-clocks plus the
+per-shard counters to ``BENCH_sharding.json`` at the repo root.  The ≥2×
+speedup floor is asserted only where it is physically meaningful: full
+mode on a machine with at least four CPU cores (the parallel region is
+the γ/profile work, ~70 % of a fit).  On fewer cores — or in
+``BENCH_QUICK=1`` smoke mode — the run still records the measured numbers
+and enforces parity plus a bounded-overhead sanity ceiling.
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
+from repro.core import IUAD, IUADConfig, ShardedIUAD
+from repro.data.synthetic import SyntheticConfig, SyntheticDBLP
 from repro.eval.experiments import run_table5
 from repro.eval.reporting import render_table5
+from repro.eval.timing import StageTimer, shard_summary, write_benchmark_json
 
 
 @pytest.fixture(scope="module")
@@ -50,3 +66,102 @@ def test_iuad_is_competitive(benchmark, table5):
     full = {m: t[1.0].avg_seconds_per_name for m, t in table5.items()}
     baseline_costs = [v for m, v in full.items() if m != "IUAD"]
     assert full["IUAD"] <= 3.0 * max(baseline_costs)
+
+
+# --------------------------------------------------------------------- #
+# sharded execution: wall-clock vs single-process fit
+# --------------------------------------------------------------------- #
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+N_WORKERS = 4
+MIN_SPEEDUP = 2.0
+CPU_COUNT = os.cpu_count() or 1
+# The tracked record exists to evidence the ≥2× claim, so only machines
+# able to honestly measure it (full mode, ≥ N_WORKERS cores) write it;
+# smoke runs and under-provisioned boxes record to the untracked quick
+# file instead of committing a number that contradicts the claim.
+SHARD_OUT_PATH = Path(__file__).resolve().parents[1] / (
+    "BENCH_sharding.json"
+    if not QUICK and CPU_COUNT >= N_WORKERS
+    else "BENCH_sharding.quick.json"
+)
+
+
+def _largest_bench_corpus():
+    """The largest corpus of the scalability sweep.
+
+    Like the similarity bench, the name pool is concentrated so candidate
+    blocks are big and pair scoring (the shardable work) dominates the
+    fit — the regime sharding exists for.  Quick mode shrinks the world
+    for CI smoke runs.
+    """
+    if QUICK:
+        cfg = SyntheticConfig(
+            n_authors=900, n_papers=2000, name_pool_size=300,
+            n_communities=70, seed=7,
+        )
+    else:
+        cfg = SyntheticConfig(
+            n_authors=3500, n_papers=8000, name_pool_size=420, seed=7,
+        )
+    return SyntheticDBLP(cfg).generate()
+
+
+def _clusterings(est, names):
+    return {
+        n: sorted(
+            sorted(units)
+            for units in est.mention_clusters_of_name(n).values()
+        )
+        for n in names
+    }
+
+
+def test_sharded_fit_speedup(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    timer = StageTimer()
+    with timer.stage("corpus"):
+        corpus = _largest_bench_corpus()
+
+    with timer.stage("fit_single_process"):
+        single = IUAD(IUADConfig()).fit(corpus)
+    with timer.stage("fit_sharded_4_workers"):
+        sharded = ShardedIUAD(IUADConfig(n_workers=N_WORKERS)).fit(corpus)
+
+    # Parity gates the speedup claim: identical mention clusterings.
+    # (Serial-vs-pool parity is pinned separately by
+    # tests/test_sharding_parity.py.)
+    names = corpus.names
+    assert _clusterings(sharded, names) == _clusterings(single, names)
+
+    stages = timer.as_dict()
+    speedup = stages["fit_single_process"] / stages["fit_sharded_4_workers"]
+    payload = write_benchmark_json(
+        SHARD_OUT_PATH,
+        "sharded_fit",
+        stages,
+        quick=QUICK,
+        n_workers=N_WORKERS,
+        cpu_count=CPU_COUNT,
+        n_papers=len(corpus),
+        speedup_vs_single=round(speedup, 3),
+        parity="identical mention clusterings (single vs sharded pool)",
+        shards=shard_summary(sharded.report_),
+    )
+    assert payload["shards"]["n_shards"] >= 1
+
+    if not QUICK and CPU_COUNT >= N_WORKERS:
+        # The honest claim: ≥2× wall-clock over the single-process fit on
+        # the largest bench corpus with four real cores under them.
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded fit speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor on {cpu_count} cores"
+        )
+    else:
+        # Not enough cores (or smoke mode) for parallel wall-clock wins —
+        # four workers time-slicing one core can only lose, which is why
+        # such runs record to the untracked quick file.  Sharding must
+        # still stay within bounded overhead of the single-process fit:
+        # it repartitions, forks, pickles results and stitches.
+        assert stages["fit_sharded_4_workers"] <= 6.0 * max(
+            stages["fit_single_process"], 0.05
+        ), "sharded fit overhead exploded"

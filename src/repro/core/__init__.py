@@ -8,7 +8,21 @@ from .candidates import (
 )
 from .config import IUADConfig
 from .incremental import Assignment, IncrementalDisambiguator, IncrementalReport
-from .iuad import IUAD, FitReport, disambiguate
+from .iuad import (
+    IUAD,
+    FitReport,
+    MergeRoundsOutcome,
+    disambiguate,
+    run_merge_rounds,
+)
+from .sharding import (
+    Shard,
+    ShardIndex,
+    ShardPlan,
+    ShardStats,
+    ShardedIUAD,
+    plan_shards,
+)
 
 __all__ = [
     "Assignment",
@@ -17,10 +31,18 @@ __all__ = [
     "IUADConfig",
     "IncrementalDisambiguator",
     "IncrementalReport",
+    "MergeRoundsOutcome",
+    "Shard",
+    "ShardIndex",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedIUAD",
     "SplitResult",
     "candidate_pairs_of_name",
     "disambiguate",
     "iter_candidate_pairs",
+    "plan_shards",
+    "run_merge_rounds",
     "sample_training_pairs",
     "split_prolific_vertices",
 ]

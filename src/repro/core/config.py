@@ -58,6 +58,21 @@ class IUADConfig:
         em_max_iterations: EM iteration cap.
         em_tolerance: EM convergence tolerance on the log-likelihood.
         seed: Seed for candidate sampling and vertex splitting.
+        n_workers: Worker processes of a sharded fit
+            (:class:`repro.core.sharding.ShardedIUAD`).  ``0`` fits the
+            shards serially in-process (still sharded — same partition,
+            same merge, no pool); ``>= 1`` fits them in a
+            ``ProcessPoolExecutor`` of that size.  Ignored by the
+            single-process :meth:`IUAD.fit`.
+        max_shard_size: Work budget of one shard, measured in candidate
+            pairs.  Name blocks (connected components of the co-author
+            name graph) are packed into shards up to this budget;
+            blocks exceeding it are split by name.  ``0`` disables both
+            packing and splitting (one shard per block).  Splitting a
+            block is exact for ``merge_rounds == 1`` (names never
+            influence each other within a round); with more rounds it
+            can miss cross-shard profile updates between rounds — keep
+            blocks whole (``0``) when that matters.
     """
 
     eta: int = 2
@@ -80,10 +95,18 @@ class IUADConfig:
     em_max_iterations: int = 200
     em_tolerance: float = 1e-6
     seed: int = 29
+    n_workers: int = 0
+    max_shard_size: int = 4000
 
     def __post_init__(self) -> None:
         if self.eta < 1:
             raise ValueError(f"eta must be >= 1, got {self.eta}")
+        if self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.max_shard_size < 0:
+            raise ValueError(
+                f"max_shard_size must be >= 0, got {self.max_shard_size}"
+            )
         if not 0.0 < self.sample_rate <= 1.0:
             raise ValueError(
                 f"sample_rate must be in (0, 1], got {self.sample_rate}"

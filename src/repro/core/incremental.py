@@ -56,6 +56,11 @@ class IncrementalReport:
     ``n_mentions`` counts occurrences — a paper listing one name twice
     contributes two mentions, matching the per-occurrence model everywhere
     else in the pipeline.
+
+    ``per_shard_papers`` is filled only when the fitted estimator carries
+    a shard index (:class:`repro.core.sharding.ShardedIUAD`): it counts
+    streamed papers per owning (canonical) shard id, the locality
+    evidence that every insert touched exactly one name block.
     """
 
     n_papers: int = 0
@@ -64,13 +69,18 @@ class IncrementalReport:
     n_created: int = 0
     seconds: float = 0.0
     per_paper_seconds: list[float] = field(default_factory=list)
+    per_shard_papers: dict[int, int] = field(default_factory=dict)
 
     @property
     def avg_ms_per_paper(self) -> float:
-        """Average wall-clock per paper in milliseconds (Table VI row)."""
-        if not self.per_paper_seconds:
+        """Average wall-clock per paper in milliseconds (Table VI row).
+
+        Guarded for the empty stream: a report that has processed no
+        papers yet answers ``0.0`` instead of dividing by zero.
+        """
+        if self.n_papers == 0:
             return 0.0
-        return 1000.0 * sum(self.per_paper_seconds) / len(self.per_paper_seconds)
+        return 1000.0 * self.seconds / self.n_papers
 
 
 class IncrementalDisambiguator:
@@ -81,6 +91,10 @@ class IncrementalDisambiguator:
             raise ValueError("IUAD must be fitted before incremental use")
         self.iuad = iuad
         self.report = IncrementalReport()
+        # A sharded fit exposes its name-block routing; streaming inserts
+        # are then accounted to (and structurally confined to) the shard
+        # owning the paper's names.  Plain IUAD fits have no index.
+        self.shard_index = getattr(iuad, "shard_index_", None)
 
     # ------------------------------------------------------------------ #
     def add_paper(self, paper: Paper) -> list[Assignment]:
@@ -101,6 +115,16 @@ class IncrementalDisambiguator:
         assert computer is not None and model is not None
 
         corpus.add(paper)
+        if self.shard_index is not None:
+            # Route through the shard index: candidate vertices are
+            # same-name, hence inside the owning block by construction;
+            # the index keeps the partition current (new names join the
+            # block, papers spanning two blocks bridge them) and the
+            # report counts the insert against the canonical shard.
+            shard = self.shard_index.route_paper(paper.authors)
+            self.report.per_shard_papers[shard] = (
+                self.report.per_shard_papers.get(shard, 0) + 1
+            )
         assignments: list[Assignment] = []
         for position, name in enumerate(paper.authors):
             assignments.append(self._assign_mention(name, paper.pid, position))

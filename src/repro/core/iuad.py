@@ -54,6 +54,157 @@ from .config import IUADConfig
 
 Pair = tuple[int, int]
 
+#: Precomputed first-round decision input: the per-name candidate pairs
+#: (in decision-name order) and the Eq. 11 scores of the flattened pair
+#: list.  :func:`run_merge_rounds` accepts this so a sharded fit can score
+#: round one centrally (see :mod:`repro.core.sharding`) while the decision
+#: loop itself stays byte-for-byte the single-process code path.
+Round1Scores = tuple[list[tuple[str, list[Pair]]], np.ndarray]
+
+
+@dataclass(slots=True)
+class MergeRoundsOutcome:
+    """What the Stage-2 decision loop did to a network.
+
+    ``network`` is the merged result (the input network is never mutated —
+    the first ``merged()`` call copies).  ``per_name_seconds`` attributes
+    the decision wall-clock to names by pair share, the accounting
+    ``eval/timing.py`` (Table V) sums back into the stage total.
+    """
+
+    network: CollaborationNetwork
+    n_merges: int
+    per_round_candidate_pairs: list[int]
+    per_round_merges: list[int]
+    per_name_seconds: dict[str, float]
+
+
+def run_merge_rounds(
+    network: CollaborationNetwork,
+    names: Sequence[str],
+    model: MatchMixture,
+    computer: SimilarityComputer,
+    config: IUADConfig,
+    round1: Round1Scores | None = None,
+) -> MergeRoundsOutcome:
+    """Run the Stage-2 score-and-merge rounds of Algorithm 1.
+
+    This is the decision stage shared by :meth:`IUAD.fit` (whole corpus)
+    and the shard workers of :class:`repro.core.sharding.ShardedIUAD`
+    (one name block at a time): candidate pairs of every name in
+    ``names`` are scored with the Eq. 11 matching score, pairs clearing
+    the round's δ are merged transitively under the cannot-link
+    constraints, and the network is re-materialised between rounds with
+    preserved vertex ids so ``computer``'s profile caches survive.
+
+    Args:
+        network: The network to consolidate (an SCN, or a shard of one).
+            Never mutated.
+        names: Decision names, in order.  Only their candidate pairs are
+            scored; other vertices pass through untouched.
+        model: The fitted matched/unmatched mixture.
+        computer: A similarity computer bound to ``network``; it is
+            rebound to each round's merged network.
+        config: Decision thresholds and round count.
+        round1: Optional precomputed ``(name_pairs, scores)`` for the
+            first round (same names, same per-name pair order).  Later
+            rounds always re-score through ``computer``.
+    """
+    cfg = config
+    gcn = network
+    n_merges = 0
+    per_name: dict[str, float] = {}
+    per_round_pairs: list[int] = []
+    per_round_merges: list[int] = []
+    for round_index in range(cfg.merge_rounds):
+        round_delta = cfg.delta if round_index == 0 else cfg.later_delta
+        union = UnionFind(v.vid for v in gcn)
+        # Cannot-link constraints from the mention model: same-name
+        # vertices owning mentions of one paper are two homonymous
+        # co-authors — provably distinct, however similar their profiles
+        # look.  Registering them up front keeps the constraint
+        # component-aware through transitive union chains.
+        for cl_u, cl_v in cannot_link_pairs(gcn):
+            union.forbid(cl_u, cl_v)
+        round_merges = 0
+
+        # Gather every name's candidates, then score the whole round in
+        # one batched call so the engine amortises its sparse assembly
+        # over all names instead of paying it per name.
+        t_collect = time.perf_counter()
+        if round_index == 0 and round1 is not None:
+            name_pairs, scores = round1
+            all_pairs = [pair for _name, pairs in name_pairs for pair in pairs]
+            shared_seconds = time.perf_counter() - t_collect
+        else:
+            name_pairs = []
+            all_pairs = []
+            for name in names:
+                pairs = candidate_pairs_of_name(gcn, name)
+                name_pairs.append((name, pairs))
+                all_pairs.extend(pairs)
+            shared_seconds = time.perf_counter() - t_collect
+
+            t_score = time.perf_counter()
+            if all_pairs:
+                scores = match_scores(model, computer.pair_matrix(all_pairs))
+            else:
+                scores = np.empty(0, dtype=np.float64)
+            shared_seconds += time.perf_counter() - t_score
+        per_round_pairs.append(len(all_pairs))
+
+        # The batched time is attributed to names by pair share, so the
+        # per-name accounting of eval/timing.py (Table V) still sums to
+        # the true decision-stage total.
+        total_pairs = max(len(all_pairs), 1)
+        merged_vids: list[int] = []
+        offset = 0
+        for name, pairs in name_pairs:
+            tn = time.perf_counter()
+            for (u, v), score in zip(
+                pairs, scores[offset : offset + len(pairs)]
+            ):
+                if score >= round_delta:
+                    if union.connected(u, v):
+                        # Already joined transitively — counting this
+                        # as a merge would overstate merge activity
+                        # and could defeat the convergence break.
+                        continue
+                    if not union.allowed(u, v):
+                        # Cannot-link: the components own mentions of
+                        # one paper (homonymous co-authors).
+                        continue
+                    union.union(u, v)
+                    merged_vids.append(u)
+                    merged_vids.append(v)
+                    round_merges += 1
+            offset += len(pairs)
+            per_name[name] = (
+                per_name.get(name, 0.0)
+                + (time.perf_counter() - tn)
+                + shared_seconds * (len(pairs) / total_pairs)
+            )
+        n_merges += round_merges
+        per_round_merges.append(round_merges)
+        if round_merges == 0 and gcn is not network:
+            # Converged on an already-copied network: a further
+            # merged() pass would rebuild an identical graph.  (The
+            # first round always copies, so callers' later mutations
+            # never touch the pristine input network.)
+            break
+        touched = {union.find(vid) for vid in merged_vids}
+        gcn = gcn.merged(union, preserve_ids=True)
+        computer.rebind(gcn, touched=touched)
+        if round_merges == 0:
+            break
+    return MergeRoundsOutcome(
+        network=gcn,
+        n_merges=n_merges,
+        per_round_candidate_pairs=per_round_pairs,
+        per_round_merges=per_round_merges,
+        per_name_seconds=per_name,
+    )
+
 
 @dataclass(slots=True)
 class FitReport:
@@ -68,6 +219,15 @@ class FitReport:
     network (per-occurrence mention model): it equals the corpus's
     author–paper-pair total and ``scn.n_mentions`` — merging never loses a
     mention.
+
+    Sharded fits (:class:`repro.core.sharding.ShardedIUAD`) additionally
+    fill the shard counters: ``n_shards`` name blocks were fitted
+    (``shard_stats`` holds one :class:`repro.core.sharding.ShardStats`
+    each), ``n_fastpath_vertices`` vertices took the singleton fast path
+    (no same-name candidate, hence no Stage-2 work), and
+    ``partition_seconds`` / ``stitch_seconds`` time the orchestration
+    around the parallel region.  Single-process fits leave them at their
+    zero defaults.
     """
 
     scn: SCNBuildReport
@@ -84,6 +244,11 @@ class FitReport:
     per_name_seconds: dict[str, float] = field(default_factory=dict)
     per_round_candidate_pairs: list[int] = field(default_factory=list)
     per_round_merges: list[int] = field(default_factory=list)
+    n_shards: int = 0
+    n_fastpath_vertices: int = 0
+    partition_seconds: float = 0.0
+    stitch_seconds: float = 0.0
+    shard_stats: list = field(default_factory=list)
 
 
 class IUAD:
@@ -127,12 +292,7 @@ class IUAD:
         """
         cfg = self.config
         t0 = time.perf_counter()
-        scn, scn_report = SCNBuilder(
-            corpus,
-            cfg.eta,
-            cfg.certify_triangles,
-            cfg.require_triangle_instance,
-        ).build()
+        scn, scn_report = self._build_scn(corpus)
         stage1 = time.perf_counter() - t0
 
         t1 = time.perf_counter()
@@ -149,91 +309,12 @@ class IUAD:
         )
 
         decision_names = list(corpus.names if names is None else names)
-        gcn = scn
-        n_merges = 0
-        per_name: dict[str, float] = {}
-        per_round_pairs: list[int] = []
-        per_round_merges: list[int] = []
         # One SimilarityComputer serves every merge round: the merged
         # network is built with preserve_ids=True, so only vertices whose
         # neighbourhood a merge (or a recovered relation) actually changed
         # lose their cached profiles (see SimilarityComputer.rebind).
-        for round_index in range(cfg.merge_rounds):
-            round_delta = cfg.delta if round_index == 0 else cfg.later_delta
-            union = UnionFind(v.vid for v in gcn)
-            # Cannot-link constraints from the mention model: same-name
-            # vertices owning mentions of one paper are two homonymous
-            # co-authors of that paper — provably distinct, however similar
-            # their profiles look.  Registering them up front keeps the
-            # constraint component-aware through transitive union chains.
-            for cl_u, cl_v in cannot_link_pairs(gcn):
-                union.forbid(cl_u, cl_v)
-            round_merges = 0
-
-            # Gather every name's candidates, then score the whole round in
-            # one batched call so the engine amortises its sparse assembly
-            # over all names instead of paying it per name.
-            t_collect = time.perf_counter()
-            name_pairs: list[tuple[str, list[Pair]]] = []
-            all_pairs: list[Pair] = []
-            for name in decision_names:
-                pairs = candidate_pairs_of_name(gcn, name)
-                name_pairs.append((name, pairs))
-                all_pairs.extend(pairs)
-            shared_seconds = time.perf_counter() - t_collect
-            per_round_pairs.append(len(all_pairs))
-
-            t_score = time.perf_counter()
-            if all_pairs:
-                scores = match_scores(model, computer.pair_matrix(all_pairs))
-            else:
-                scores = np.empty(0, dtype=np.float64)
-            shared_seconds += time.perf_counter() - t_score
-
-            # The batched time is attributed to names by pair share, so the
-            # per-name accounting of eval/timing.py (Table V) still sums to
-            # the true decision-stage total.
-            total_pairs = max(len(all_pairs), 1)
-            merged_vids: list[int] = []
-            offset = 0
-            for name, pairs in name_pairs:
-                tn = time.perf_counter()
-                for (u, v), score in zip(
-                    pairs, scores[offset : offset + len(pairs)]
-                ):
-                    if score >= round_delta:
-                        if union.connected(u, v):
-                            # Already joined transitively — counting this
-                            # as a merge would overstate merge activity
-                            # and could defeat the convergence break.
-                            continue
-                        if not union.allowed(u, v):
-                            # Cannot-link: the components own mentions of
-                            # one paper (homonymous co-authors).
-                            continue
-                        union.union(u, v)
-                        merged_vids.append(u)
-                        merged_vids.append(v)
-                        round_merges += 1
-                offset += len(pairs)
-                per_name[name] = (
-                    per_name.get(name, 0.0)
-                    + (time.perf_counter() - tn)
-                    + shared_seconds * (len(pairs) / total_pairs)
-                )
-            n_merges += round_merges
-            per_round_merges.append(round_merges)
-            if round_merges == 0 and gcn is not scn:
-                # Converged on an already-copied network: a further
-                # merged() pass would rebuild an identical graph.  (The
-                # first round always copies, so _recover_relations never
-                # mutates the pristine scn_.)
-                break
-            touched = {union.find(vid) for vid in merged_vids}
-            gcn = gcn.merged(union, preserve_ids=True)
-            computer.rebind(gcn, touched=touched)
-            if round_merges == 0:
-                break
+        outcome = run_merge_rounds(scn, decision_names, model, computer, cfg)
+        gcn = outcome.network
         touched = self._recover_relations(gcn, corpus)
         computer.rebind(gcn, touched=touched)
         stage2 = time.perf_counter() - t1
@@ -246,22 +327,38 @@ class IUAD:
         self.report_ = FitReport(
             scn=scn_report,
             em=em_report,
-            n_candidate_pairs=per_round_pairs[0] if per_round_pairs else 0,
+            n_candidate_pairs=(
+                outcome.per_round_candidate_pairs[0]
+                if outcome.per_round_candidate_pairs
+                else 0
+            ),
             n_training_pairs=n_train,
             n_split_pairs=n_split,
-            n_merges=n_merges,
+            n_merges=outcome.n_merges,
             gcn_vertices=len(gcn),
             gcn_mentions=gcn.n_mentions,
             gcn_edges=gcn.n_edges,
             stage1_seconds=stage1,
             stage2_seconds=stage2,
-            per_name_seconds=per_name,
-            per_round_candidate_pairs=per_round_pairs,
-            per_round_merges=per_round_merges,
+            per_name_seconds=outcome.per_name_seconds,
+            per_round_candidate_pairs=outcome.per_round_candidate_pairs,
+            per_round_merges=outcome.per_round_merges,
         )
         return self
 
     # ------------------------------------------------------------------ #
+    def _build_scn(
+        self, corpus: Corpus
+    ) -> tuple[CollaborationNetwork, SCNBuildReport]:
+        """Stage 1: build the stable collaboration network."""
+        cfg = self.config
+        return SCNBuilder(
+            corpus,
+            cfg.eta,
+            cfg.certify_triangles,
+            cfg.require_triangle_instance,
+        ).build()
+
     def _train_embeddings(self, corpus: Corpus) -> WordEmbeddings | None:
         if not self.config.use_embeddings:
             return None
@@ -277,36 +374,63 @@ class IUAD:
         self,
         scn: CollaborationNetwork,
         corpus: Corpus,
-        computer: SimilarityComputer,
+        computer: SimilarityComputer | None,
+        precomputed: tuple[list[Pair], np.ndarray] | None = None,
+        precomputed_split: tuple[list[Pair], np.ndarray] | None = None,
     ) -> tuple[MatchMixture, EMReport, int, int]:
-        """Train the mixture on sampled candidates + split-balance pairs."""
+        """Train the mixture on sampled candidates + split-balance pairs.
+
+        ``precomputed`` short-circuits the candidate γ computation with an
+        already-scored ``(training_pairs, gamma_matrix)`` — the sharded
+        orchestrator computes every candidate γ in parallel name-block
+        workers and slices the training sample out of those results, so
+        the serial section of a sharded fit never re-scores pairs
+        (``computer`` may then be ``None``).  ``precomputed_split``
+        likewise injects already-scored split-balance pairs (the sharded
+        orchestrator scores them in pool workers too — on dense networks
+        the split vertices' WL profiles are the single most expensive
+        serial item).
+        """
         cfg = self.config
-        all_pairs: list[Pair] = []
-        for name in scn.names:
-            all_pairs.extend(candidate_pairs_of_name(scn, name))
-        training = sample_training_pairs(
-            all_pairs, cfg.sample_rate, cfg.min_training_pairs, cfg.seed
-        )
-        gammas = [computer.pair_matrix(training)] if training else []
+        if precomputed is None:
+            assert computer is not None
+            all_pairs: list[Pair] = []
+            for name in scn.names:
+                all_pairs.extend(candidate_pairs_of_name(scn, name))
+            training = sample_training_pairs(
+                all_pairs, cfg.sample_rate, cfg.min_training_pairs, cfg.seed
+            )
+            gammas = [computer.pair_matrix(training)] if training else []
+        else:
+            training, training_gammas = precomputed
+            gammas = [training_gammas] if training else []
         seeds: list[np.ndarray] = []
         n_split = 0
         if cfg.balance_split:
-            split = split_prolific_vertices(
-                scn,
-                min_papers=cfg.split_min_papers,
-                max_vertices=cfg.max_split_vertices,
-                seed=cfg.seed,
-            )
-            if split.matched_pairs:
-                split_computer = SimilarityComputer(
-                    split.network,
-                    corpus,
-                    embeddings=self.embeddings_,
-                    wl_iterations=cfg.wl_iterations,
-                    decay_alpha=cfg.decay_alpha,
+            if precomputed_split is not None:
+                split_pairs, split_gammas = precomputed_split
+                if split_pairs:
+                    gammas.append(split_gammas)
+                    n_split = len(split_pairs)
+            else:
+                split = split_prolific_vertices(
+                    scn,
+                    min_papers=cfg.split_min_papers,
+                    max_vertices=cfg.max_split_vertices,
+                    seed=cfg.seed,
                 )
-                gammas.append(split_computer.pair_matrix(split.matched_pairs))
-                n_split = len(split.matched_pairs)
+                if split.matched_pairs:
+                    split_computer = SimilarityComputer(
+                        split.network,
+                        corpus,
+                        embeddings=self.embeddings_,
+                        wl_iterations=cfg.wl_iterations,
+                        decay_alpha=cfg.decay_alpha,
+                    )
+                    gammas.append(
+                        split_computer.pair_matrix(split.matched_pairs)
+                    )
+                    n_split = len(split.matched_pairs)
         if not gammas:
             raise ValueError(
                 "no candidate pairs to train on — every name has a single "

@@ -1,0 +1,921 @@
+"""Sharded name-block execution: partition, parallel fit, global merge.
+
+The bottom-up design of the paper makes Stage 2 embarrassingly
+partitionable: every merge decision concerns two same-name vertices, and
+candidate enumeration, γ scoring and the merge itself never cross name
+boundaries.  Partitioning the corpus by *name blocks* — connected
+components of the co-author name graph — therefore cuts the expensive
+similarity work into independent shards that can be fitted in parallel
+and stitched back into one global collaboration network.  This is the
+"sharding" leg of the ROADMAP's production-scale north star and the
+foundation for multi-machine scale-out.
+
+Execution plan of :class:`ShardedIUAD.fit` (serial or process-pool):
+
+1. **Global Stage 1 + text models** (serial): the SCN, the title
+   embeddings and the corpus frequency tables are built exactly as in the
+   single-process :meth:`~repro.core.iuad.IUAD.fit` — they are cheap
+   relative to pair scoring and keep the learned model bit-compatible.
+2. **Partition** (:func:`plan_shards`): pair-bearing names are grouped
+   into blocks (connected components over shared papers), blocks are
+   packed into shards up to ``config.max_shard_size`` candidate pairs,
+   oversized blocks are split by name, and every vertex of a name with no
+   same-name candidate takes the **singleton fast path** straight into
+   the final network — no Stage-2 work at all.
+3. **Phase A — parallel γ computation**: workers receive the SCN, the
+   corpus and the global frequency tables *once per process* (pool
+   initializer, see :class:`_WorkerContext`); each task then carries only
+   its shard's name list.  Profiles are computed on the full network —
+   exactly what the single-process fit does, so γ values are
+   bit-compatible by construction.  Split-balance matched pairs (the
+   densest profile work of model learning) are chunked into the same pool.
+4. **Global model** (serial): the training sample is drawn from the
+   *reassembled global candidate order* (identical to the single-process
+   sample) and its γ rows are sliced from the Phase-A results; the
+   matched/unmatched mixture is then fitted exactly as in ``IUAD``.
+5. **Phase B — parallel decisions**: each worker cuts its block (plus a
+   radius-``max(1, wl_iterations)`` profile halo, needed only when
+   ``merge_rounds > 1`` re-scores) out of its process-local SCN, runs the
+   shared :func:`~repro.core.iuad.run_merge_rounds` decision loop with
+   the precomputed round-one scores, merges its components under the
+   cannot-link constraints, drops the halo and ships back its fitted
+   block network.
+6. **Merge** (serial, deterministic): per-shard networks and the
+   fast-path vertices are stitched by
+   :func:`repro.graphs.collab.combine_networks` — stable remapped vertex
+   ids, preserved ``pid -> position`` mention payloads, a global
+   uniqueness check on mention ownership — then the non-stable
+   collaborative relations are recovered globally and the cannot-link
+   constraints are re-derived on the stitched network.
+
+Exactness: with ``merge_rounds == 1`` (the paper's Algorithm 1) the
+sharded fit produces mention clusterings *identical* to the whole-corpus
+fit — names cannot influence each other within a round, and profiles are
+computed on the full network (``tests/test_sharding_parity.py`` pins
+this, serially and under a process pool; profile construction iterates
+papers in canonical order so results survive the pickling of networks,
+see ``SimilarityComputer._build_profile``).  With more rounds, exactness
+additionally requires blocks to stay whole (``max_shard_size = 0``):
+splitting a block can miss cross-shard profile updates between rounds.
+
+Edge-paper caveat: a stable SCN edge between two blocks is re-established
+by relation recovery, whose paper annotation derives from mention
+ownership rather than SCR support; scoring never reads edge paper sets,
+so clusterings are unaffected.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..data.records import Corpus
+from ..graphs.collab import CollaborationNetwork, combine_networks
+from ..graphs.unionfind import UnionFind
+from ..model.mixture import MatchMixture
+from ..model.scoring import match_scores
+from ..similarity.profile import SimilarityComputer
+from ..text.embeddings import WordEmbeddings
+from ..text.tokenize import corpus_word_frequencies
+from .balance import split_prolific_vertices
+from .candidates import candidate_pairs_of_name, cannot_link_pairs, sample_training_pairs
+from .config import IUADConfig
+from .iuad import IUAD, FitReport, run_merge_rounds
+
+Pair = tuple[int, int]
+
+
+# --------------------------------------------------------------------- #
+# plan data model
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class ShardStats:
+    """Per-shard counters of one sharded fit (rides in ``FitReport``)."""
+
+    index: int
+    n_names: int
+    n_vertices: int
+    n_halo: int
+    n_papers: int
+    n_candidate_pairs: int
+    n_decision_pairs: int = 0
+    n_merges: int = 0
+    gamma_seconds: float = 0.0
+    decide_seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class Shard:
+    """One unit of parallel work: a set of whole (or split) name blocks.
+
+    ``names`` are the shard's pair-bearing names in global ``scn.names``
+    order; ``owned_vids`` are *all* their vertices (a name is never split
+    across shards); ``halo_vids`` are the extra profile-context vertices
+    within radius of the owned set; ``pids`` are the papers of the owned
+    vertices.
+    """
+
+    index: int
+    names: tuple[str, ...]
+    owned_vids: tuple[int, ...]
+    halo_vids: tuple[int, ...]
+    pids: tuple[int, ...]
+    n_candidate_pairs: int
+
+
+@dataclass(slots=True)
+class ShardPlan:
+    """The full partition: shards + singleton fast path + routing index.
+
+    ``name_to_shard`` covers *every* corpus name: pair-bearing names map
+    to their fitted shard, the rest to their component's shard or to a
+    fast-path block id (``len(shards) <= id < n_blocks``) when their
+    whole component had no Stage-2 work.
+    """
+
+    shards: list[Shard]
+    fastpath_vids: tuple[int, ...]
+    name_to_shard: dict[str, int]
+    n_blocks: int
+    seconds: float
+
+    @property
+    def n_candidate_pairs(self) -> int:
+        return sum(s.n_candidate_pairs for s in self.shards)
+
+
+class ShardIndex:
+    """Routes names to their owning shard (streaming inserts, Section V-E).
+
+    The fitted partition seeds the index; papers streamed in later are
+    routed to the shard owning their author names.  A new paper whose
+    names span several shards *bridges* them — the shards are unioned so
+    subsequent routing stays consistent — and a paper carrying only
+    unknown names opens a fresh shard id.  The incremental path uses this
+    to account every insert to exactly one (canonical) shard.
+    """
+
+    def __init__(self, name_to_shard: Mapping[str, int], n_shards: int):
+        self._uf: UnionFind = UnionFind(range(n_shards))
+        self._name_to_shard: dict[str, int] = dict(name_to_shard)
+        self._next_shard = n_shards
+        self.n_bridges = 0
+
+    @property
+    def n_shards(self) -> int:
+        """Number of distinct (canonical) shards currently known."""
+        return self._uf.n_components
+
+    def shard_of_name(self, name: str) -> int | None:
+        """Canonical shard id owning ``name`` (``None`` if never seen)."""
+        sid = self._name_to_shard.get(name)
+        return None if sid is None else self._uf.find(sid)
+
+    def route_paper(self, names: Iterable[str]) -> int:
+        """Owning shard of a new paper; registers names, bridges shards."""
+        names = list(names)
+        known = {self._name_to_shard[n] for n in names if n in self._name_to_shard}
+        roots = {self._uf.find(sid) for sid in known}
+        if roots:
+            canonical = roots.pop()
+            for other in roots:
+                canonical = self._uf.union(canonical, other)
+                self.n_bridges += 1
+        else:
+            canonical = self._next_shard
+            self._next_shard += 1
+            self._uf.add(canonical)
+        for name in names:
+            if name not in self._name_to_shard:
+                self._name_to_shard[name] = canonical
+        return self._uf.find(canonical)
+
+
+# --------------------------------------------------------------------- #
+# partitioner
+# --------------------------------------------------------------------- #
+def _pair_count(n_vertices: int) -> int:
+    return n_vertices * (n_vertices - 1) // 2
+
+
+def plan_shards(
+    scn: CollaborationNetwork,
+    corpus: Corpus,
+    max_shard_size: int = 4000,
+    halo_radius: int = 2,
+) -> ShardPlan:
+    """Partition the corpus into independent name-block shards.
+
+    Blocks are connected components of the co-author name graph (two
+    names are linked when they appear on one paper), restricted to
+    *pair-bearing* names — names with at least two SCN vertices, i.e.
+    names with Stage-2 work.  Vertices of all other names take the
+    singleton fast path (``fastpath_vids``) straight into the merged
+    network.
+
+    ``max_shard_size`` is a per-shard candidate-pair budget: small blocks
+    are packed together (first-fit decreasing, deterministic) and a block
+    exceeding the budget on its own is split into name chunks.  ``0``
+    disables both and yields one shard per block.
+
+    ``halo_radius`` controls the profile context around a block that the
+    Phase-B sub-network keeps: every vertex within that many hops of an
+    owned vertex (pass ``max(1, config.wl_iterations)``).  Only re-scoring
+    rounds (``merge_rounds > 1``) read profiles off that sub-network.
+    """
+    t0 = time.perf_counter()
+    # Name components over shared papers.
+    names_uf: UnionFind = UnionFind()
+    for paper in corpus:
+        first = paper.authors[0]
+        names_uf.add(first)
+        for other in paper.authors[1:]:
+            names_uf.add(other)
+            names_uf.union(first, other)
+
+    # Blocks of pair-bearing names, in deterministic scn.names order.
+    pair_counts: dict[str, int] = {}
+    block_names: dict[str, list[str]] = {}
+    block_order: list[str] = []
+    for name in scn.names:
+        count = _pair_count(len(scn.vertices_of_name(name)))
+        if count == 0:
+            continue
+        pair_counts[name] = count
+        root = names_uf.find(name) if name in names_uf else name
+        if root not in block_names:
+            block_names[root] = []
+            block_order.append(root)
+        block_names[root].append(name)
+
+    # Split oversized blocks by name (exact for merge_rounds == 1).
+    chunks: list[list[str]] = []
+    for root in block_order:
+        names = block_names[root]
+        size = sum(pair_counts[n] for n in names)
+        if max_shard_size <= 0 or size <= max_shard_size:
+            chunks.append(names)
+            continue
+        current: list[str] = []
+        current_size = 0
+        for name in names:
+            if current and current_size + pair_counts[name] > max_shard_size:
+                chunks.append(current)
+                current, current_size = [], 0
+            current.append(name)
+            current_size += pair_counts[name]
+        if current:
+            chunks.append(current)
+
+    # Pack chunks into shards (first-fit decreasing, deterministic).
+    if max_shard_size > 0:
+        sized = sorted(
+            enumerate(chunks),
+            key=lambda kv: (-sum(pair_counts[n] for n in kv[1]), kv[0]),
+        )
+        bins: list[list[str]] = []
+        bin_sizes: list[int] = []
+        for _, chunk in sized:
+            size = sum(pair_counts[n] for n in chunk)
+            for i, used in enumerate(bin_sizes):
+                if used + size <= max_shard_size:
+                    bins[i].extend(chunk)
+                    bin_sizes[i] += size
+                    break
+            else:
+                bins.append(list(chunk))
+                bin_sizes.append(size)
+        groups = bins
+    else:
+        groups = chunks
+
+    # Materialise shards: owned vertices, profile halo, papers.
+    name_order = {name: i for i, name in enumerate(scn.names)}
+    owned_anywhere: set[int] = set()
+    shards: list[Shard] = []
+    name_to_shard: dict[str, int] = {}
+    for index, group in enumerate(groups):
+        group = sorted(group, key=name_order.__getitem__)
+        owned: list[int] = []
+        for name in group:
+            owned.extend(scn.vertices_of_name(name))
+            name_to_shard[name] = index
+        owned_set = set(owned)
+        owned_anywhere.update(owned_set)
+        halo: set[int] = set()
+        frontier = list(owned_set)
+        for _ in range(max(1, halo_radius)):
+            next_frontier: list[int] = []
+            for vid in frontier:
+                for nbr in scn.neighbors(vid):
+                    if nbr not in owned_set and nbr not in halo:
+                        halo.add(nbr)
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        pids: set[int] = set()
+        for vid in owned_set:
+            pids.update(scn.papers_of(vid))
+        shards.append(
+            Shard(
+                index=index,
+                names=tuple(group),
+                owned_vids=tuple(sorted(owned_set)),
+                halo_vids=tuple(sorted(halo)),
+                pids=tuple(sorted(pids)),
+                n_candidate_pairs=sum(pair_counts[n] for n in group),
+            )
+        )
+
+    # Every remaining corpus name — singleton names living inside a
+    # sharded block, and whole blocks with no pair-bearing name — still
+    # belongs to a block: route it to its component's shard, or allocate
+    # a fresh fast-path block id.  Streaming inserts by known fast-path
+    # authors then route into their real block instead of opening a
+    # phantom shard.
+    comp_shard: dict[str, int] = {}
+    for shard in shards:
+        for name in shard.names:
+            comp_shard.setdefault(names_uf.find(name), shard.index)
+    next_block = len(shards)
+    for name in names_uf:
+        if name in name_to_shard:
+            continue
+        root = names_uf.find(name)
+        if root not in comp_shard:
+            comp_shard[root] = next_block
+            next_block += 1
+        name_to_shard[name] = comp_shard[root]
+
+    fastpath = tuple(
+        sorted(v.vid for v in scn if v.vid not in owned_anywhere)
+    )
+    return ShardPlan(
+        shards=shards,
+        fastpath_vids=fastpath,
+        name_to_shard=name_to_shard,
+        n_blocks=next_block,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+# --------------------------------------------------------------------- #
+# worker context + tasks
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class _WorkerContext:
+    """Heavy shared inputs, shipped once per worker (pool initializer).
+
+    Tasks themselves stay light (name lists, vid tuples, score arrays):
+    the SCN, the split-balance network, the corpus and the global
+    frequency tables travel to each worker process exactly once instead
+    of once per task, which is what keeps pool overhead flat as the
+    number of shards grows.
+    """
+
+    scn: CollaborationNetwork
+    split_network: CollaborationNetwork | None
+    corpus: Corpus
+    word_frequencies: dict[str, int]
+    venue_frequencies: dict[str, int]
+    embeddings: WordEmbeddings | None
+    wl_iterations: int
+    decay_alpha: float
+
+    def computer(self, network: CollaborationNetwork) -> SimilarityComputer:
+        """A similarity computer over ``network`` with the global tables."""
+        return SimilarityComputer(
+            network,
+            self.corpus,
+            embeddings=self.embeddings,
+            word_frequencies=self.word_frequencies,
+            wl_iterations=self.wl_iterations,
+            decay_alpha=self.decay_alpha,
+            venue_frequencies=self.venue_frequencies,
+        )
+
+
+#: Per-process context, set by :func:`_init_worker` (pool) or directly by
+#: the serial in-process path.
+_CTX: _WorkerContext | None = None
+
+
+def _init_worker(ctx: _WorkerContext) -> None:
+    global _CTX
+    _CTX = ctx
+
+
+def _require_ctx() -> _WorkerContext:
+    assert _CTX is not None, "worker context not initialised"
+    return _CTX
+
+
+@dataclass(slots=True)
+class _GammaTask:
+    index: int
+    names: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class _ShardGammas:
+    index: int
+    name_pairs: list[tuple[str, list[Pair]]]
+    gammas: np.ndarray
+    seconds: float
+
+
+@dataclass(slots=True)
+class _SplitScoreTask:
+    pairs: list[Pair]
+
+
+@dataclass(slots=True)
+class _DecisionTask:
+    index: int
+    vids: tuple[int, ...]          # owned + halo, cut in the worker
+    owned_vids: tuple[int, ...]
+    name_pairs: list[tuple[str, list[Pair]]]
+    round1_scores: np.ndarray
+    model: MatchMixture
+    config: IUADConfig
+
+
+@dataclass(slots=True)
+class _ShardFit:
+    index: int
+    network: CollaborationNetwork
+    n_merges: int
+    per_round_candidate_pairs: list[int]
+    per_round_merges: list[int]
+    per_name_seconds: dict[str, float]
+    seconds: float
+
+
+def _compute_shard_gammas(task: _GammaTask) -> _ShardGammas:
+    """Phase A: γ vectors of every candidate pair of the shard's names.
+
+    Scoring runs against the *full* process-local SCN — the same graph
+    the single-process fit scores against, so profiles and γ values are
+    identical by construction (no halo bookkeeping on this path).
+
+    Each task deliberately starts a fresh computer: profiles are built
+    only for pair endpoints, and names are partitioned across shards, so
+    tasks' profile sets are disjoint — a cross-task cache would buy
+    nothing, while sharing the engine's interned column space across
+    scheduler-ordered tasks would make float accumulation order depend
+    on pool scheduling and break run-to-run determinism.
+    """
+    t0 = time.perf_counter()
+    ctx = _require_ctx()
+    computer = ctx.computer(ctx.scn)
+    name_pairs: list[tuple[str, list[Pair]]] = []
+    flat: list[Pair] = []
+    for name in task.names:
+        pairs = candidate_pairs_of_name(ctx.scn, name)
+        name_pairs.append((name, pairs))
+        flat.extend(pairs)
+    gammas = (
+        computer.pair_matrix(flat)
+        if flat
+        else np.zeros((0, 6), dtype=np.float64)
+    )
+    return _ShardGammas(
+        index=task.index,
+        name_pairs=name_pairs,
+        gammas=gammas,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _score_split_chunk(task: _SplitScoreTask) -> np.ndarray:
+    """Score one chunk of split-balance matched pairs (Section V-F2).
+
+    Building WL profiles on the dense split network is the single most
+    expensive item of model learning — chunked into the pool so it never
+    runs serial nor as one straggler task.
+    """
+    ctx = _require_ctx()
+    assert ctx.split_network is not None
+    return ctx.computer(ctx.split_network).pair_matrix(task.pairs)
+
+
+def _fit_shard(task: _DecisionTask) -> _ShardFit:
+    """Phase B: run the shared decision loop on one block, drop the halo."""
+    t0 = time.perf_counter()
+    ctx = _require_ctx()
+    network = ctx.scn.subnetwork(task.vids)
+    computer = ctx.computer(network)
+    outcome = run_merge_rounds(
+        network,
+        [name for name, _pairs in task.name_pairs],
+        task.model,
+        computer,
+        task.config,
+        round1=(task.name_pairs, task.round1_scores),
+    )
+    # Same-name merges keep representatives inside the owned set, so the
+    # halo survives untouched — strip it before shipping the block back.
+    owned = set(task.owned_vids)
+    survivors = [v.vid for v in outcome.network if v.vid in owned]
+    return _ShardFit(
+        index=task.index,
+        network=outcome.network.subnetwork(survivors),
+        n_merges=outcome.n_merges,
+        per_round_candidate_pairs=outcome.per_round_candidate_pairs,
+        per_round_merges=outcome.per_round_merges,
+        per_name_seconds=outcome.per_name_seconds,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+# --------------------------------------------------------------------- #
+# orchestrator
+# --------------------------------------------------------------------- #
+class ShardedIUAD(IUAD):
+    """Algorithm 1 executed shard-by-shard over independent name blocks.
+
+    Drop-in replacement for :class:`~repro.core.iuad.IUAD`: same
+    constructor, same ``fit`` signature, same fitted-state accessors, and
+    — for ``merge_rounds == 1`` — mention clusterings identical to the
+    single-process fit.  ``config.n_workers`` selects serial in-process
+    execution (``0``) or a ``ProcessPoolExecutor`` of that size; both are
+    deterministic, including under process-pool scheduling (results are
+    collected in shard order, never in completion order).
+
+    After fitting, ``shard_index_`` routes streaming inserts
+    (:class:`~repro.core.incremental.IncrementalDisambiguator`) to their
+    owning shard, ``cannot_links_`` holds the re-derived cannot-link
+    pairs of the stitched network, and ``report_.shard_stats`` carries
+    the per-shard counters.
+    """
+
+    def __init__(self, config: IUADConfig | None = None):
+        super().__init__(config)
+        self.plan_: ShardPlan | None = None
+        self.shard_index_: ShardIndex | None = None
+        self.cannot_links_: list[Pair] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, corpus: Corpus, names: Iterable[str] | None = None
+    ) -> "ShardedIUAD":
+        """Run the sharded Algorithm 1 on ``corpus``.
+
+        Identical contract to :meth:`IUAD.fit`; ``names`` restricts the
+        merge decisions while the model still trains on candidates from
+        every name block.
+        """
+        global _CTX
+        cfg = self.config
+        t0 = time.perf_counter()
+        scn, scn_report = self._build_scn(corpus)
+        stage1 = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        self.embeddings_ = self._train_embeddings(corpus)
+        word_freq = dict(corpus_word_frequencies(p.title for p in corpus))
+        venue_freq = dict(corpus.venue_frequencies)
+
+        plan = plan_shards(
+            scn,
+            corpus,
+            max_shard_size=cfg.max_shard_size,
+            halo_radius=max(1, cfg.wl_iterations),
+        )
+        decision_names = list(corpus.names if names is None else names)
+        decision_set = set(decision_names)
+
+        split_pairs, split_tasks, split_network = self._split_tasks(scn)
+        ctx = _WorkerContext(
+            scn=scn,
+            split_network=split_network,
+            corpus=corpus,
+            word_frequencies=word_freq,
+            venue_frequencies=venue_freq,
+            embeddings=self.embeddings_,
+            wl_iterations=cfg.wl_iterations,
+            decay_alpha=cfg.decay_alpha,
+        )
+        gamma_tasks = [
+            _GammaTask(index=shard.index, names=shard.names)
+            for shard in plan.shards
+        ]
+
+        def execute(run_map):
+            """Phases A → model → B, parameterised only by the mapper.
+
+            One body for the serial and pool paths — the parity contract
+            forbids letting them drift.  Split-score chunks are the
+            longest poles, so they are submitted first and the pool never
+            ends on one straggler.
+            """
+            split_iter = run_map(_score_split_chunk, split_tasks)
+            gamma_results = list(run_map(_compute_shard_gammas, gamma_tasks))
+            split_gammas = self._stack_split(split_tasks, split_iter)
+            model, em_report, n_train, n_split, decision_data = (
+                self._central_section(
+                    scn, corpus, plan, gamma_results,
+                    (split_pairs, split_gammas),
+                )
+            )
+            shard_fits = self._decide_shards(
+                plan, scn, gamma_results, decision_data,
+                decision_set, model,
+                lambda tasks: list(run_map(_fit_shard, tasks)),
+            )
+            return gamma_results, model, em_report, n_train, n_split, shard_fits
+
+        previous_ctx = _CTX
+        try:
+            if cfg.n_workers >= 1 and (gamma_tasks or split_tasks):
+                # Under the fork start method, workers inherit the
+                # parent's memory copy-on-write: setting the module-level
+                # context *before* the pool forks ships the SCN/corpus to
+                # every worker for free.  Spawn platforms pickle it once
+                # per worker through the initializer instead.
+                if multiprocessing.get_start_method() == "fork":
+                    _init_worker(ctx)
+                    pool_kwargs = {}
+                else:
+                    pool_kwargs = {
+                        "initializer": _init_worker,
+                        "initargs": (ctx,),
+                    }
+                with ProcessPoolExecutor(
+                    max_workers=cfg.n_workers, **pool_kwargs
+                ) as pool:
+                    (
+                        gamma_results, model, em_report,
+                        n_train, n_split, shard_fits,
+                    ) = execute(pool.map)
+            else:
+                _init_worker(ctx)
+                (
+                    gamma_results, model, em_report,
+                    n_train, n_split, shard_fits,
+                ) = execute(map)
+        finally:
+            _CTX = previous_ctx
+
+        # Deterministic merge: shard networks in index order, then the
+        # singleton fast path, stitched under one fresh id space.
+        t_stitch = time.perf_counter()
+        nets = [fit.network for fit in shard_fits]
+        if plan.fastpath_vids:
+            nets.append(scn.subnetwork(plan.fastpath_vids))
+        gcn, _mappings = combine_networks(nets)
+        touched = self._recover_relations(gcn, corpus)
+        # Re-apply the cannot-link constraints on the stitched id space:
+        # the pairs that must never merge (homonymous co-authors) are
+        # re-derived from the preserved mention payloads and re-registered
+        # — registration itself re-validates that no stitched component
+        # already violates one.
+        self.cannot_links_ = cannot_link_pairs(gcn)
+        guard: UnionFind = UnionFind(v.vid for v in gcn)
+        for cl_u, cl_v in self.cannot_links_:
+            guard.forbid(cl_u, cl_v)
+        stitch_seconds = time.perf_counter() - t_stitch
+
+        computer = SimilarityComputer(
+            gcn,
+            corpus,
+            embeddings=self.embeddings_,
+            word_frequencies=word_freq,
+            wl_iterations=cfg.wl_iterations,
+            decay_alpha=cfg.decay_alpha,
+            venue_frequencies=venue_freq,
+        )
+        computer.invalidate_many(touched)
+        stage2 = time.perf_counter() - t1
+
+        self.corpus_ = corpus
+        self.scn_ = scn
+        self.gcn_ = gcn
+        self.model_ = model
+        self.computer_ = computer
+        self.plan_ = plan
+        self.shard_index_ = ShardIndex(plan.name_to_shard, plan.n_blocks)
+        self.report_ = self._build_report(
+            scn_report, em_report, n_train, n_split, plan, gamma_results,
+            shard_fits, gcn, stage1, stage2, stitch_seconds,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _split_tasks(
+        self, scn: CollaborationNetwork
+    ) -> tuple[list[Pair], list[_SplitScoreTask], CollaborationNetwork | None]:
+        """Split-balance matched pairs, chunked for the pool."""
+        cfg = self.config
+        if not cfg.balance_split:
+            return [], [], None
+        split = split_prolific_vertices(
+            scn,
+            min_papers=cfg.split_min_papers,
+            max_vertices=cfg.max_split_vertices,
+            seed=cfg.seed,
+        )
+        pairs = list(split.matched_pairs)
+        if not pairs:
+            return [], [], None
+        n_chunks = max(1, cfg.n_workers)
+        chunk_size = -(-len(pairs) // n_chunks)
+        tasks = [
+            _SplitScoreTask(pairs=pairs[start : start + chunk_size])
+            for start in range(0, len(pairs), chunk_size)
+        ]
+        return pairs, tasks, split.network
+
+    @staticmethod
+    def _stack_split(tasks, chunks) -> np.ndarray:
+        if not tasks:
+            return np.zeros((0, 6), dtype=np.float64)
+        return np.vstack(list(chunks))
+
+    def _central_section(
+        self,
+        scn: CollaborationNetwork,
+        corpus: Corpus,
+        plan: ShardPlan,
+        gamma_results: list[_ShardGammas],
+        split: tuple[list[Pair], np.ndarray],
+    ):
+        """The serial middle: global training sample + EM fit.
+
+        Reassembles the candidate pairs in the exact global order the
+        single-process fit enumerates (``scn.names`` order, per-name
+        sorted-vid pairs), so ``sample_training_pairs`` draws the same
+        sample, then slices the sampled γ rows out of the Phase-A
+        matrices instead of re-scoring anything.
+        """
+        cfg = self.config
+        by_name: dict[str, tuple[list[Pair], np.ndarray]] = {}
+        for result in gamma_results:
+            offset = 0
+            for name, pairs in result.name_pairs:
+                by_name[name] = (pairs, result.gammas[offset : offset + len(pairs)])
+                offset += len(pairs)
+        all_pairs: list[Pair] = []
+        row_blocks: list[np.ndarray] = []
+        for name in scn.names:
+            entry = by_name.get(name)
+            if entry is not None:
+                pairs, rows = entry
+                all_pairs.extend(pairs)
+                row_blocks.append(rows)
+        all_gammas = (
+            np.vstack(row_blocks)
+            if row_blocks
+            else np.zeros((0, 6), dtype=np.float64)
+        )
+        training = sample_training_pairs(
+            all_pairs, cfg.sample_rate, cfg.min_training_pairs, cfg.seed
+        )
+        row_of = {pair: i for i, pair in enumerate(all_pairs)}
+        training_gammas = (
+            all_gammas[[row_of[p] for p in training]]
+            if training
+            else np.zeros((0, 6), dtype=np.float64)
+        )
+        model, em_report, n_train, n_split = self._learn_model(
+            scn,
+            corpus,
+            None,
+            precomputed=(training, training_gammas),
+            precomputed_split=split,
+        )
+        return model, em_report, n_train, n_split, by_name
+
+    def _decide_shards(
+        self,
+        plan: ShardPlan,
+        scn: CollaborationNetwork,
+        gamma_results: list[_ShardGammas],
+        by_name: dict[str, tuple[list[Pair], np.ndarray]],
+        decision_set: set[str],
+        model: MatchMixture,
+        mapper: Callable[[list[_DecisionTask]], list[_ShardFit]],
+    ) -> list[_ShardFit]:
+        """Build Phase-B tasks, run them, fill in pass-through shards."""
+        cfg = self.config
+        tasks: list[_DecisionTask] = []
+        passthrough: dict[int, _ShardFit] = {}
+        for shard, result in zip(plan.shards, gamma_results):
+            name_pairs: list[tuple[str, list[Pair]]] = []
+            score_blocks: list[np.ndarray] = []
+            for name, _pairs in result.name_pairs:
+                if name not in decision_set:
+                    continue
+                pairs, rows = by_name[name]
+                name_pairs.append((name, pairs))
+                score_blocks.append(rows)
+            flat = [pair for _name, pairs in name_pairs for pair in pairs]
+            if not flat:
+                # Nothing to decide in this shard (its names are outside
+                # the requested decision set): its block passes through
+                # unchanged, like the singleton fast path.
+                passthrough[shard.index] = _ShardFit(
+                    index=shard.index,
+                    network=scn.subnetwork(shard.owned_vids),
+                    n_merges=0,
+                    per_round_candidate_pairs=[0],
+                    per_round_merges=[0],
+                    per_name_seconds={},
+                    seconds=0.0,
+                )
+                continue
+            scores = match_scores(model, np.vstack(score_blocks))
+            tasks.append(
+                _DecisionTask(
+                    index=shard.index,
+                    vids=shard.owned_vids + shard.halo_vids,
+                    owned_vids=shard.owned_vids,
+                    name_pairs=name_pairs,
+                    round1_scores=scores,
+                    model=model,
+                    config=cfg,
+                )
+            )
+        fitted = {fit.index: fit for fit in mapper(tasks)}
+        fitted.update(passthrough)
+        return [fitted[shard.index] for shard in plan.shards]
+
+    def _build_report(
+        self,
+        scn_report,
+        em_report,
+        n_train: int,
+        n_split: int,
+        plan: ShardPlan,
+        gamma_results: list[_ShardGammas],
+        shard_fits: list[_ShardFit],
+        gcn: CollaborationNetwork,
+        stage1: float,
+        stage2: float,
+        stitch_seconds: float,
+    ) -> FitReport:
+        per_name: dict[str, float] = {}
+        per_round_pairs: list[int] = []
+        per_round_merges: list[int] = []
+        shard_stats: list[ShardStats] = []
+        n_merges = 0
+        for shard, gammas, fit in zip(plan.shards, gamma_results, shard_fits):
+            # Attribute the shard's batched γ time to its names by pair
+            # share (cf. the per-name accounting of run_merge_rounds).
+            total = max(shard.n_candidate_pairs, 1)
+            for name, pairs in gammas.name_pairs:
+                per_name[name] = (
+                    per_name.get(name, 0.0)
+                    + fit.per_name_seconds.get(name, 0.0)
+                    + gammas.seconds * (len(pairs) / total)
+                )
+            for i, count in enumerate(fit.per_round_candidate_pairs):
+                if i >= len(per_round_pairs):
+                    per_round_pairs.append(0)
+                    per_round_merges.append(0)
+                per_round_pairs[i] += count
+                per_round_merges[i] += fit.per_round_merges[i]
+            n_merges += fit.n_merges
+            shard_stats.append(
+                ShardStats(
+                    index=shard.index,
+                    n_names=len(shard.names),
+                    n_vertices=len(shard.owned_vids),
+                    n_halo=len(shard.halo_vids),
+                    n_papers=len(shard.pids),
+                    n_candidate_pairs=shard.n_candidate_pairs,
+                    n_decision_pairs=(
+                        fit.per_round_candidate_pairs[0]
+                        if fit.per_round_candidate_pairs
+                        else 0
+                    ),
+                    n_merges=fit.n_merges,
+                    gamma_seconds=gammas.seconds,
+                    decide_seconds=fit.seconds,
+                )
+            )
+        return FitReport(
+            scn=scn_report,
+            em=em_report,
+            n_candidate_pairs=per_round_pairs[0] if per_round_pairs else 0,
+            n_training_pairs=n_train,
+            n_split_pairs=n_split,
+            n_merges=n_merges,
+            gcn_vertices=len(gcn),
+            gcn_mentions=gcn.n_mentions,
+            gcn_edges=gcn.n_edges,
+            stage1_seconds=stage1,
+            stage2_seconds=stage2,
+            per_name_seconds=per_name,
+            per_round_candidate_pairs=per_round_pairs,
+            per_round_merges=per_round_merges,
+            n_shards=len(plan.shards),
+            n_fastpath_vertices=len(plan.fastpath_vids),
+            partition_seconds=plan.seconds,
+            stitch_seconds=stitch_seconds,
+            shard_stats=shard_stats,
+        )

@@ -66,6 +66,7 @@ def iter_dblp_records(
 def load_dblp_xml(
     source: str | IO[bytes],
     max_papers: int | None = None,
+    dedupe_names: bool = False,
 ) -> Corpus:
     """Parse a DBLP XML dump into a :class:`~repro.data.records.Corpus`.
 
@@ -74,12 +75,20 @@ def load_dblp_xml(
             open binary file object.
         max_papers: Optional cap on the number of papers to read, for
             sampled runs on the 641k-paper dump.
+        dedupe_names: Drop repeated names from a record's author list.
+            Off by default: a name listed twice is representable — two
+            homonymous co-authors, kept apart by the positional mention
+            model — and the default keeps ``dump_dblp_like_xml`` →
+            ``load_dblp_xml`` a lossless round trip.  Turn it on to treat
+            repeats as the data errors they usually are in the real dump.
     """
     papers: list[Paper] = []
     for pid, raw in enumerate(iter_dblp_records(source)):
         if max_papers is not None and pid >= max_papers:
             break
-        authors = _dedupe_names(raw["authors"])  # type: ignore[arg-type]
+        authors = list(raw["authors"])  # type: ignore[arg-type]
+        if dedupe_names:
+            authors = _dedupe_names(authors)
         if not authors:
             continue
         papers.append(
@@ -95,11 +104,7 @@ def load_dblp_xml(
 
 
 def _dedupe_names(names: Iterable[str]) -> list[str]:
-    """Drop duplicate names while preserving list order.
-
-    DBLP occasionally lists the same name twice on one record; co-author
-    lists in this library are name-unique sets.
-    """
+    """Drop duplicate names while preserving list order."""
     seen: set[str] = set()
     out: list[str] = []
     for name in names:

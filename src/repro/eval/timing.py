@@ -75,6 +75,37 @@ def write_benchmark_json(
     return payload
 
 
+def shard_summary(report: Any) -> dict[str, float]:
+    """Aggregate the per-shard counters of a sharded :class:`FitReport`.
+
+    Duck-typed over ``report.shard_stats``
+    (:class:`repro.core.sharding.ShardStats` entries) so this evaluation
+    helper needs no import from ``core``.  The returned dict is flat and
+    JSON-ready — the sharding benchmark embeds it into
+    ``BENCH_sharding.json`` next to the stage seconds.  ``imbalance`` is
+    the largest shard's share of all candidate pairs divided by the ideal
+    equal share: 1.0 means perfectly balanced shards, ``n_shards`` means
+    one shard holds all the work.
+    """
+    stats = list(getattr(report, "shard_stats", ()) or ())
+    pairs = [s.n_candidate_pairs for s in stats]
+    total_pairs = sum(pairs)
+    n = len(stats)
+    ideal = total_pairs / n if n else 0.0
+    return {
+        "n_shards": n,
+        "n_fastpath_vertices": getattr(report, "n_fastpath_vertices", 0),
+        "total_candidate_pairs": total_pairs,
+        "max_shard_pairs": max(pairs, default=0),
+        "imbalance": (max(pairs, default=0) / ideal) if ideal else 0.0,
+        "gamma_seconds": round(sum(s.gamma_seconds for s in stats), 6),
+        "decide_seconds": round(sum(s.decide_seconds for s in stats), 6),
+        "partition_seconds": round(getattr(report, "partition_seconds", 0.0), 6),
+        "stitch_seconds": round(getattr(report, "stitch_seconds", 0.0), 6),
+        "total_merges": sum(s.n_merges for s in stats),
+    }
+
+
 @dataclass(frozen=True, slots=True)
 class TimingResult:
     """Per-name average wall-clock of one method at one data scale."""

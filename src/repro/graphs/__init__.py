@@ -1,6 +1,6 @@
 """Collaboration-network substrate: graphs, SCN builder, triangles, WL kernel."""
 
-from .collab import CollaborationNetwork, Vertex
+from .collab import CollaborationNetwork, Vertex, combine_networks
 from .scn import (
     SCNBuilder,
     SCNBuildReport,
@@ -33,6 +33,7 @@ __all__ = [
     "ball",
     "build_scn",
     "coauthor_triangle_names",
+    "combine_networks",
     "count_triangles",
     "independence_tail_probability",
     "iter_triangles",

@@ -29,7 +29,7 @@ profiles consume; for pipeline-built networks it is exactly
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from .unionfind import UnionFind
 
@@ -326,6 +326,47 @@ class CollaborationNetwork:
         return out
 
     # ------------------------------------------------------------------ #
+    # sharding (subgraph extraction + disjoint-union stitching)
+    # ------------------------------------------------------------------ #
+    def subnetwork(self, vids: Iterable[int]) -> "CollaborationNetwork":
+        """The induced subgraph on ``vids``, with vertex ids preserved.
+
+        Vertices are copied with their paper attribution and mention
+        payloads; only edges with *both* endpoints in ``vids`` survive.
+        Insertion happens in ascending-vid order, so repeated extractions
+        are structurally identical (deterministic name index order).  The
+        shard executor uses this twice: to cut a name block (plus its
+        profile halo) out of the global SCN, and to drop the halo again
+        before a fitted shard is shipped back.
+        """
+        keep = sorted(set(vids))
+        missing = [vid for vid in keep if vid not in self._vertices]
+        if missing:
+            raise KeyError(f"unknown vertex ids: {missing[:5]}")
+        out = CollaborationNetwork()
+        for vid in keep:
+            vertex = self._vertices[vid]
+            out.add_vertex(
+                vertex.name,
+                papers=vertex.papers,
+                vid=vid,
+                mentions=[(pid, pos) for pid, pos in vertex.mentions.items()],
+            )
+        keep_set = set(keep)
+        # Walk only the kept vertices' adjacency (not the global edge
+        # list): extraction cost scales with the subgraph, which is what
+        # keeps many small per-shard cuts cheap on a big network.
+        for u in keep:
+            for v, papers in self._adj[u].items():
+                if u < v and v in keep_set:
+                    out.add_edge(u, v, set(papers))
+        # add_edge grows paper sets with edge supports; restore the exact
+        # attribution copied from the source vertices.
+        for vid in keep:
+            out.set_papers(vid, self._vertices[vid].papers)
+        return out
+
+    # ------------------------------------------------------------------ #
     # evaluation view
     # ------------------------------------------------------------------ #
     def clusters_of_name(self, name: str) -> dict[int, set[int]]:
@@ -352,3 +393,55 @@ class CollaborationNetwork:
             }
             out[vid] = units
         return out
+
+
+def combine_networks(
+    nets: Sequence["CollaborationNetwork"],
+) -> tuple["CollaborationNetwork", list[dict[int, int]]]:
+    """Disjoint union of several networks under one fresh id space.
+
+    The merge step of the sharded pipeline
+    (:mod:`repro.core.sharding`): per-shard networks — whose vertex ids
+    collide across shards, or are sparse after per-shard merging — are
+    stitched into one global network.  Ids are remapped deterministically:
+    networks in list order, vertices in ascending old-id order, new ids
+    dense from 0.  Repeated stitches of the same shards therefore produce
+    identical graphs.  Returns the combined network plus one
+    ``old id -> new id`` mapping per input network.
+
+    Mention payloads are preserved exactly, and two invariants are
+    enforced during the stitch:
+
+    * per vertex, at most one mention per paper (``add_vertex`` checks);
+    * across *all* inputs, every ``(pid, position)`` occurrence is owned
+      at most once — two shards claiming one mention means the partition
+      was not a partition, and stitching would silently double-count an
+      author occurrence.
+    """
+    out = CollaborationNetwork()
+    mappings: list[dict[int, int]] = []
+    owner_of: dict[MentionKey, int] = {}
+    for net in nets:
+        mapping: dict[int, int] = {}
+        for old_vid in sorted(vertex.vid for vertex in net):
+            vertex = net.vertex(old_vid)
+            mentions = [(pid, pos) for pid, pos in vertex.mentions.items()]
+            new_vid = out.add_vertex(vertex.name, mentions=mentions)
+            mapping[old_vid] = new_vid
+            for key in mentions:
+                if key in owner_of:
+                    raise ValueError(
+                        f"mention {key} owned by two shards (vertices "
+                        f"{owner_of[key]} and {new_vid}); the shard "
+                        "partition must assign every occurrence once"
+                    )
+                owner_of[key] = new_vid
+        for u, v, papers in net.edges():
+            out.add_edge(mapping[u], mapping[v], papers)
+        # Restore exact paper attribution: add_edge pushed edge supports
+        # into vertex paper sets, but a support paper's mention may be
+        # owned by a different same-name vertex (cf. merged()).
+        for old_vid, new_vid in mapping.items():
+            out.set_papers(new_vid, net.vertex(old_vid).papers)
+        mappings.append(mapping)
+    return out, mappings

@@ -102,6 +102,7 @@ class SimilarityComputer:
         decay_alpha: float = 0.62,
         frequent_keywords: frozenset[str] = frozenset(),
         batch_threshold: int = 16,
+        venue_frequencies: Mapping[str, int] | None = None,
     ):
         """
         Args:
@@ -118,6 +119,10 @@ class SimilarityComputer:
                 vectorised :mod:`.batch` engine; shorter lists take the
                 scalar path, whose per-pair cost undercuts the fixed
                 sparse-assembly overhead.
+            venue_frequencies: ``F_H`` of Eq. 9; taken from ``corpus`` when
+                omitted.  Shard workers pass the *whole-corpus* tables here
+                (and in ``word_frequencies``) while scoring against a
+                sub-corpus, so γ4/γ6 match the single-process fit exactly.
         """
         self.net = net
         self.corpus = corpus
@@ -131,7 +136,9 @@ class SimilarityComputer:
                 p.title for p in corpus
             )
         self.word_frequencies = word_frequencies
-        self.venue_frequencies = corpus.venue_frequencies
+        if venue_frequencies is None:
+            venue_frequencies = corpus.venue_frequencies
+        self.venue_frequencies = venue_frequencies
         self._profiles: dict[int, VertexProfile] = {}
         self._engine = BatchSimilarityEngine(
             self.word_frequencies, self.venue_frequencies
@@ -233,7 +240,13 @@ class SimilarityComputer:
         keywords: Counter[str] = Counter()
         keyword_years: dict[str, tuple[int, int]] = {}
         venues: Counter[str] = Counter()
-        for pid in vertex.papers:
+        # Canonical paper order: set iteration order does not survive a
+        # pickle round trip, and the insertion order of these counters
+        # decides float accumulation order downstream (γ3 centroids, γ4/γ6
+        # weighted sums).  Sorting keeps profiles bit-identical between a
+        # parent process and a shard worker that received the network over
+        # a pipe — the property the shard-vs-global parity tests pin.
+        for pid in sorted(vertex.papers):
             paper = self.corpus[pid]
             venues[paper.venue] += 1
             for word in extract_keywords(paper.title, self.frequent_keywords):

@@ -12,6 +12,7 @@ from repro.data import (
 )
 from repro.data.dblp import dump_dblp_like_xml
 from repro.data.powerlaw import ascii_loglog
+from repro.data.records import Corpus, Paper
 from repro.data.testing import per_name_truth
 
 
@@ -81,7 +82,9 @@ class TestDBLPXml:
         assert len(corpus) == 1
         assert corpus[0].authors == ("B",)
 
-    def test_dedupes_repeated_author(self, tmp_path):
+    def test_repeated_author_preserved_by_default(self, tmp_path):
+        # A name listed twice is two homonymous co-authors under the
+        # positional mention model — the load path must not conflate them.
         path = tmp_path / "dup.xml"
         path.write_text(
             "<dblp><article><author>A</author><author>A</author>"
@@ -89,7 +92,39 @@ class TestDBLPXml:
             "<year>2001</year></article></dblp>"
         )
         corpus = load_dblp_xml(str(path))
+        assert corpus[0].authors == ("A", "A", "B")
+
+    def test_dedupes_repeated_author_on_request(self, tmp_path):
+        path = tmp_path / "dup.xml"
+        path.write_text(
+            "<dblp><article><author>A</author><author>A</author>"
+            "<author>B</author><title>t</title><journal>J</journal>"
+            "<year>2001</year></article></dblp>"
+        )
+        corpus = load_dblp_xml(str(path), dedupe_names=True)
         assert corpus[0].authors == ("A", "B")
+
+    def test_roundtrip_preserves_order_venues_and_duplicate_names(
+        self, tmp_path
+    ):
+        # dump -> load must be lossless: paper order, venues, years and
+        # full author lists — including a duplicate-name list (two
+        # homonymous co-authors on one paper).
+        papers = [
+            Paper(0, ("X Y", "P A"), "query index", "VLDB", 2001),
+            Paper(1, ("X Y", "X Y", "Q B"), "homonym paper", "ICDE", 2002),
+            Paper(2, ("Q B",), "solo paper", "KDD", 2003),
+        ]
+        corpus = Corpus(papers)
+        path = str(tmp_path / "dump.xml")
+        dump_dblp_like_xml(corpus, path)
+        restored = load_dblp_xml(path)
+        assert len(restored) == len(corpus)
+        for original, loaded in zip(corpus, restored):
+            assert loaded.authors == original.authors
+            assert loaded.title == original.title
+            assert loaded.venue == original.venue
+            assert loaded.year == original.year
 
 
 class TestTestingDataset:

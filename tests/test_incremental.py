@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core import IUAD, IUADConfig, IncrementalDisambiguator
+from repro.core import (
+    IUAD,
+    IUADConfig,
+    IncrementalDisambiguator,
+    IncrementalReport,
+)
 from repro.data import Corpus, Paper, build_testing_dataset
 from repro.data.testing import per_name_truth, split_for_incremental
 from repro.eval import micro_metrics
@@ -117,6 +122,13 @@ class TestIncremental:
         assert inc.report.n_mentions >= 5
         assert inc.report.avg_ms_per_paper > 0.0
         assert inc.report.n_attached + inc.report.n_created == inc.report.n_mentions
+
+    def test_empty_report_average_is_zero(self):
+        # Regression: a report that has processed no papers must answer
+        # 0.0 instead of dividing by n_papers == 0.
+        report = IncrementalReport()
+        assert report.n_papers == 0
+        assert report.avg_ms_per_paper == 0.0
 
 
 class TestIncrementalQuality:

@@ -1,12 +1,15 @@
-"""Cross-module invariants: determinism, kernel bounds, merge algebra."""
+"""Cross-module invariants: determinism, kernel bounds, merge algebra,
+and the seed-swept shard-merge structural guarantees."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import IUAD, IUADConfig
+from repro.core import IUAD, IUADConfig, ShardedIUAD
 from repro.data import build_testing_dataset
+from repro.data.records import Corpus, Paper
+from repro.data.synthetic import SyntheticConfig, SyntheticDBLP, ambiguous_names
 from repro.graphs import CollaborationNetwork, UnionFind, wl_feature_map, wl_kernel
 from repro.model import MatchMixture, match_scores
 
@@ -88,6 +91,123 @@ class TestMergeAlgebra:
         twice = once.merged(UnionFind(v.vid for v in once))
         assert len(once) == len(twice)
         assert once.n_edges == twice.n_edges
+
+
+def _homonym_world(seed: int) -> Corpus:
+    """A small ambiguous corpus with two injected duplicate-name papers.
+
+    The synthetic generator never emits a paper listing one name twice
+    (real data almost never does), so the cannot-link machinery is
+    exercised by appending hand-made homonym papers: an ambiguous name
+    appears at two positions of one co-author list — two provably
+    distinct people.
+    """
+    corpus = SyntheticDBLP(
+        SyntheticConfig(
+            n_authors=120,
+            n_papers=260,
+            name_pool_size=90,
+            n_communities=12,
+            seed=seed,
+        )
+    ).generate()
+    names = ambiguous_names(corpus)
+    assert names, "sweep corpus must contain duplicate names"
+    next_pid = max(p.pid for p in corpus) + 1
+    fresh_aid = 10_000_000
+    papers = list(corpus)
+    for offset, name in enumerate(names[:2]):
+        papers.append(
+            Paper(
+                pid=next_pid + offset,
+                authors=(name, name, names[-1]),
+                title="homonym collision paper",
+                venue="GEN-0",
+                year=2019,
+                author_ids=(
+                    fresh_aid + 3 * offset,
+                    fresh_aid + 3 * offset + 1,
+                    fresh_aid + 3 * offset + 2,
+                ),
+            )
+        )
+    return Corpus(papers)
+
+
+@pytest.mark.parametrize("seed", range(20))
+class TestShardMergeInvariants:
+    """Seed-swept structural guarantees of the sharded fit.
+
+    Fitting is sharded aggressively (tiny pair budget, so blocks split
+    and pack) and every invariant is checked on the *stitched* network —
+    the id-remapped merge is exactly where a partition bug would surface.
+    """
+
+    CONFIG = dict(
+        use_embeddings=False,
+        min_training_pairs=40,
+        max_shard_size=60,
+    )
+
+    @pytest.fixture()
+    def fitted(self, seed):
+        corpus = _homonym_world(seed)
+        sharded = ShardedIUAD(IUADConfig(**self.CONFIG)).fit(corpus)
+        return corpus, sharded
+
+    def test_one_mention_per_paper_per_vertex(self, seed, fitted):
+        corpus, sharded = fitted
+        gcn = sharded.gcn_
+        for vertex in gcn:
+            # the payload is one position per paper, and the attribution
+            # view agrees with it exactly
+            assert set(vertex.papers) == set(vertex.mentions)
+            for pid, position in vertex.mentions.items():
+                assert corpus[pid].authors[position] == vertex.name
+
+    def test_cannot_links_survive_remapping(self, seed, fitted):
+        corpus, sharded = fitted
+        gcn = sharded.gcn_
+        assert sharded.cannot_links_, "homonym papers must induce links"
+        for u, v in sharded.cannot_links_:
+            assert u != v  # the pair was never merged
+            assert gcn.name_of(u) == gcn.name_of(v)
+            shared = gcn.papers_of(u) & gcn.papers_of(v)
+            assert shared  # still anchored on a shared paper
+            for pid in shared:
+                assert gcn.mentions_of(u)[pid] != gcn.mentions_of(v)[pid]
+        # and the homonym papers' occurrences really sit in different
+        # clusters of their name
+        for paper in corpus:
+            for name in set(paper.authors):
+                positions = paper.positions_of(name)
+                if len(positions) < 2:
+                    continue
+                clusters = sharded.mention_clusters_of_name(name)
+                owners = [
+                    vid
+                    for position in positions
+                    for vid, units in clusters.items()
+                    if (paper.pid, position) in units
+                ]
+                assert len(owners) == len(positions)
+                assert len(set(owners)) == len(positions)
+
+    def test_mention_clusters_partition_corpus_occurrences(
+        self, seed, fitted
+    ):
+        corpus, sharded = fitted
+        assert sharded.gcn_.n_mentions == corpus.num_author_paper_pairs
+        for name in corpus.names:
+            expected = {
+                (pid, position)
+                for pid in set(corpus.papers_of_name(name))
+                for position in corpus[pid].positions_of(name)
+            }
+            clusters = sharded.mention_clusters_of_name(name)
+            units = [u for us in clusters.values() for u in us]
+            assert len(units) == len(set(units))  # pairwise disjoint
+            assert set(units) == expected  # exactly the occurrences
 
 
 class TestScoreProperties:
