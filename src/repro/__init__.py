@@ -11,7 +11,13 @@ Quickstart::
     clusters = iuad.clusters_of_name("Wei Wang")
 """
 
-from .core import IUAD, IUADConfig, IncrementalDisambiguator, disambiguate
+from .core import (
+    IUAD,
+    IUADConfig,
+    IncrementalDisambiguator,
+    StreamingIngestor,
+    disambiguate,
+)
 from .data import Corpus, Paper, generate_corpus, generate_world
 
 __version__ = "1.0.0"
@@ -22,6 +28,7 @@ __all__ = [
     "IUADConfig",
     "IncrementalDisambiguator",
     "Paper",
+    "StreamingIngestor",
     "disambiguate",
     "generate_corpus",
     "generate_world",

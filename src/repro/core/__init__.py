@@ -23,9 +23,11 @@ from .sharding import (
     ShardedIUAD,
     plan_shards,
 )
+from .streaming import BatchStats, StreamingIngestor
 
 __all__ = [
     "Assignment",
+    "BatchStats",
     "FitReport",
     "IUAD",
     "IUADConfig",
@@ -38,6 +40,7 @@ __all__ = [
     "ShardStats",
     "ShardedIUAD",
     "SplitResult",
+    "StreamingIngestor",
     "candidate_pairs_of_name",
     "disambiguate",
     "iter_candidate_pairs",

@@ -73,6 +73,20 @@ class IUADConfig:
             influence each other within a round); with more rounds it
             can miss cross-shard profile updates between rounds — keep
             blocks whole (``0``) when that matters.
+        duplicate_paper_policy: What the incremental path does when a
+            streamed paper's pid is already in the fitted corpus.
+            ``"raise"`` (default) rejects the re-ingest with a
+            ``ValueError`` before any state is touched; ``"return"``
+            makes re-ingest idempotent — the current owners of the
+            paper's mentions are looked up and returned as assignments
+            (``created=False``, ``score=nan``) and nothing is mutated.
+            Either way a duplicate can no longer corrupt the
+            one-mention-per-paper invariant by being attached twice.
+        incremental_timing_window: How many recent per-paper wall-clock
+            samples :class:`repro.core.incremental.IncrementalReport`
+            retains (a bounded rolling window).  The Table-VI average
+            stays exact via running sums regardless of the window size;
+            the window only bounds memory on long streams.
     """
 
     eta: int = 2
@@ -97,12 +111,24 @@ class IUADConfig:
     seed: int = 29
     n_workers: int = 0
     max_shard_size: int = 4000
+    duplicate_paper_policy: str = "raise"
+    incremental_timing_window: int = 4096
 
     def __post_init__(self) -> None:
         if self.eta < 1:
             raise ValueError(f"eta must be >= 1, got {self.eta}")
         if self.n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.duplicate_paper_policy not in ("raise", "return"):
+            raise ValueError(
+                "duplicate_paper_policy must be 'raise' or 'return', got "
+                f"{self.duplicate_paper_policy!r}"
+            )
+        if self.incremental_timing_window < 1:
+            raise ValueError(
+                "incremental_timing_window must be >= 1, got "
+                f"{self.incremental_timing_window}"
+            )
         if self.max_shard_size < 0:
             raise ValueError(
                 f"max_shard_size must be >= 0, got {self.max_shard_size}"

@@ -17,8 +17,30 @@ is disambiguated separately, and candidate vertices are filtered by the
 one-mention-per-paper invariant — a vertex that already owns an occurrence
 of ``p`` is structurally barred from its later occurrences, so a paper
 listing the same name twice (two homonymous co-authors) always yields two
-distinct vertices.  This replaces the bespoke ``taken``-set guard earlier
-revisions threaded through the attachment loop.
+distinct vertices.
+
+The per-mention decision is factored into three reusable phases so the
+batched streaming path (:mod:`repro.core.streaming`) can interleave them
+across many papers while staying in exact parity with this scalar loop:
+
+* **candidates** — :meth:`IncrementalDisambiguator._candidate_vids`
+  enumerates the admissible same-name vertices (structural
+  one-mention-per-paper filter, plus an optional exclusion set for
+  not-yet-applied batch probes);
+* **score** — the caller scores ``(probe, candidate)`` pairs however it
+  likes (one paper at a time here, one batched call per wave there);
+* **apply** — :meth:`IncrementalDisambiguator._apply_assignment` makes
+  the argmax-plus-threshold decision and mutates the network.  Ties on
+  the matching score are broken by the *lowest vertex id*, never by
+  candidate enumeration order, so equal-score candidates attach
+  identically after a shard stitch and after a whole-corpus fit (whose
+  name-index orders differ).
+
+Re-ingesting an already-known pid is governed by
+``IUADConfig.duplicate_paper_policy``: ``"raise"`` rejects it before any
+state is touched, ``"return"`` answers idempotently with the current
+owners of the paper's mentions.  Either way the duplicate can never be
+attached twice (which would break the one-mention-per-paper invariant).
 
 Cache hygiene: every attachment or recovered edge invalidates the profile
 caches of all vertices within ``wl_iterations`` hops of the touched
@@ -29,6 +51,7 @@ endpoints (WL features span that radius — see
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,7 +69,8 @@ class Assignment:
     position: int  # occurrence index into the paper's co-author list
     vid: int
     created: bool  # True when a fresh vertex was created
-    score: float   # best Eq. 11 score (−inf when no candidates existed)
+    score: float   # best Eq. 11 score (−inf when no candidates existed;
+                   # nan for an idempotent duplicate replay)
 
 
 @dataclass(slots=True)
@@ -61,26 +85,74 @@ class IncrementalReport:
     a shard index (:class:`repro.core.sharding.ShardedIUAD`): it counts
     streamed papers per owning (canonical) shard id, the locality
     evidence that every insert touched exactly one name block.
+
+    Timing is bounded: only the last ``timing_window`` per-paper samples
+    are retained (:attr:`per_paper_seconds`), so a million-paper stream
+    never holds a million floats.  :attr:`avg_ms_per_paper` stays *exact*
+    regardless, because it divides the running ``seconds`` sum by
+    ``n_papers`` rather than summing the window.
+
+    ``n_batches`` / ``n_waves`` are filled by the batched streaming path
+    (:class:`repro.core.streaming.StreamingIngestor`): how many
+    ``add_papers`` bursts were ingested, and how many vectorised
+    snapshot-scoring rounds they ran (one per non-empty burst).
+    ``n_duplicates`` counts idempotent duplicate replays
+    (``duplicate_paper_policy="return"``).
     """
 
     n_papers: int = 0
     n_mentions: int = 0
     n_attached: int = 0
     n_created: int = 0
+    n_duplicates: int = 0
+    n_batches: int = 0
+    n_waves: int = 0
     seconds: float = 0.0
-    per_paper_seconds: list[float] = field(default_factory=list)
+    timing_window: int = 4096
     per_shard_papers: dict[int, int] = field(default_factory=dict)
+    _recent_seconds: deque = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.timing_window < 1:
+            raise ValueError(
+                f"timing_window must be >= 1, got {self.timing_window}"
+            )
+        self._recent_seconds = deque(maxlen=self.timing_window)
+
+    def record_paper_seconds(self, elapsed: float) -> None:
+        """Account one paper's wall-clock: exact sum + rolling window."""
+        self.seconds += elapsed
+        self._recent_seconds.append(elapsed)
+
+    @property
+    def per_paper_seconds(self) -> list[float]:
+        """The most recent per-paper wall-clock samples (bounded window).
+
+        At most ``timing_window`` entries — the tail of the stream, not
+        its full history.  Use :attr:`avg_ms_per_paper` for the exact
+        whole-stream average.
+        """
+        return list(self._recent_seconds)
 
     @property
     def avg_ms_per_paper(self) -> float:
         """Average wall-clock per paper in milliseconds (Table VI row).
 
-        Guarded for the empty stream: a report that has processed no
-        papers yet answers ``0.0`` instead of dividing by zero.
+        Exact over the whole stream (running sums, independent of the
+        bounded sample window).  Guarded for the empty stream: a report
+        that has processed no papers yet answers ``0.0`` instead of
+        dividing by zero.
         """
         if self.n_papers == 0:
             return 0.0
         return 1000.0 * self.seconds / self.n_papers
+
+    @property
+    def recent_avg_ms_per_paper(self) -> float:
+        """Average over the retained window only (recent-cost telemetry)."""
+        if not self._recent_seconds:
+            return 0.0
+        return 1000.0 * sum(self._recent_seconds) / len(self._recent_seconds)
 
 
 class IncrementalDisambiguator:
@@ -90,7 +162,9 @@ class IncrementalDisambiguator:
         if iuad.gcn_ is None or iuad.model_ is None or iuad.computer_ is None:
             raise ValueError("IUAD must be fitted before incremental use")
         self.iuad = iuad
-        self.report = IncrementalReport()
+        self.report = IncrementalReport(
+            timing_window=iuad.config.incremental_timing_window
+        )
         # A sharded fit exposes its name-block routing; streaming inserts
         # are then accounted to (and structurally confined to) the shard
         # owning the paper's names.  Plain IUAD fits have no index.
@@ -105,8 +179,12 @@ class IncrementalDisambiguator:
         mention is attached to the best-scoring same-name vertex (or
         becomes a new vertex), and the paper's collaborative relations are
         recovered as GCN edges.
+
+        A pid already in the corpus is handled per
+        ``config.duplicate_paper_policy`` — rejected (``"raise"``) or
+        answered idempotently with the mentions' current owners
+        (``"return"``); it is never ingested twice.
         """
-        t0 = time.perf_counter()
         corpus = self.iuad.corpus_
         gcn = self.iuad.gcn_
         computer = self.iuad.computer_
@@ -114,6 +192,9 @@ class IncrementalDisambiguator:
         assert corpus is not None and gcn is not None
         assert computer is not None and model is not None
 
+        if paper.pid in corpus:
+            return self._resolve_duplicate(paper)
+        t0 = time.perf_counter()
         corpus.add(paper)
         if self.shard_index is not None:
             # Route through the shard index: candidate vertices are
@@ -132,64 +213,155 @@ class IncrementalDisambiguator:
         # vertices (the incremental analogue of Algorithm 1 line 16), then
         # invalidate all touched neighbourhoods in one multi-source BFS
         # instead of one radius-h traversal per edge endpoint.
-        vids = [a.vid for a in assignments]
-        touched: set[int] = set()
-        for i, u in enumerate(vids):
-            for v in vids[i + 1 :]:
-                if u != v:
-                    gcn.add_edge(u, v, (paper.pid,))
-                    touched.add(u)
-                    touched.add(v)
+        touched = self._recover_paper_relations(paper.pid, assignments)
         if touched:
             computer.invalidate_many(touched)
         elapsed = time.perf_counter() - t0
         self.report.n_papers += 1
         self.report.n_mentions += len(assignments)
-        self.report.seconds += elapsed
-        self.report.per_paper_seconds.append(elapsed)
+        self.report.record_paper_seconds(elapsed)
         return assignments
 
     # ------------------------------------------------------------------ #
-    def _assign_mention(self, name: str, pid: int, position: int) -> Assignment:
-        gcn = self.iuad.gcn_
-        computer = self.iuad.computer_
-        model = self.iuad.model_
-        assert gcn is not None and computer is not None and model is not None
+    # duplicate pids
+    # ------------------------------------------------------------------ #
+    def _resolve_duplicate(self, paper: Paper) -> list[Assignment]:
+        """Apply ``duplicate_paper_policy`` to an already-known pid."""
+        if self.iuad.config.duplicate_paper_policy == "raise":
+            raise ValueError(
+                f"paper {paper.pid} is already in the fitted corpus; "
+                "re-ingesting would duplicate its mentions "
+                "(set duplicate_paper_policy='return' for idempotent replay)"
+            )
+        self.report.n_duplicates += 1
+        return self._prior_assignments(paper)
 
-        # One-mention-per-paper invariant as a structural candidate filter:
-        # a vertex already owning an occurrence of this paper (an earlier
-        # position of a twice-listed name) is a provably different person,
-        # and scoring it would let the second mention self-attach on the
-        # evidence of this very paper.
-        candidates = [
+    def _prior_assignments(self, paper: Paper) -> list[Assignment]:
+        """The current owners of ``paper``'s mentions, as assignments.
+
+        Reconstructed from the GCN's mention payloads rather than stored
+        per pid, so idempotent replay costs no memory on long streams and
+        also answers for papers that were part of the original fit.  A
+        mention nobody owns (possible only for hand-built networks)
+        reports ``vid=-1``; scores are ``nan`` — no fresh decision was
+        made.
+        """
+        gcn = self.iuad.gcn_
+        assert gcn is not None
+        out: list[Assignment] = []
+        for position, name in enumerate(paper.authors):
+            owner = next(
+                (
+                    vid
+                    for vid in gcn.vertices_of_name(name)
+                    if gcn.vertex(vid).mentions.get(paper.pid) == position
+                ),
+                -1,
+            )
+            out.append(
+                Assignment(
+                    name=name,
+                    position=position,
+                    vid=owner,
+                    created=False,
+                    score=float("nan"),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # the three phases of one mention decision
+    # ------------------------------------------------------------------ #
+    def _candidate_vids(
+        self, name: str, pid: int, exclude: frozenset[int] = frozenset()
+    ) -> list[int]:
+        """Admissible attachment candidates for a mention of ``name``.
+
+        One-mention-per-paper invariant as a structural candidate filter:
+        a vertex already owning an occurrence of this paper (an earlier
+        position of a twice-listed name) is a provably different person,
+        and scoring it would let the second mention self-attach on the
+        evidence of this very paper.  ``exclude`` additionally drops
+        vertices that must not be visible yet — the streaming path passes
+        its not-yet-applied batch probes, which a sequential stream would
+        not have created at this point.
+        """
+        gcn = self.iuad.gcn_
+        assert gcn is not None
+        return [
             vid
             for vid in gcn.vertices_of_name(name)
-            if pid not in gcn.papers_of(vid)
+            if vid not in exclude and pid not in gcn.papers_of(vid)
         ]
-        probe = gcn.add_vertex(name, mentions=((pid, position),))
-        if not candidates:
-            self.report.n_created += 1
-            return Assignment(
-                name=name,
-                position=position,
-                vid=probe,
-                created=True,
-                score=float("-inf"),
-            )
-        pairs = [(probe, vid) for vid in candidates]
-        gammas = computer.pair_matrix(pairs)
-        scores = match_scores(model, gammas)
-        best = int(np.argmax(scores))
-        best_score = float(scores[best])
-        if best_score >= self.iuad.config.incremental_delta:
-            target = candidates[best]
+
+    def _make_probe(self, name: str, pid: int, position: int) -> int:
+        """The isolated probe vertex ``v_a`` carrying just this mention."""
+        gcn = self.iuad.gcn_
+        assert gcn is not None
+        return gcn.add_vertex(name, mentions=((pid, position),))
+
+    def _select_candidate(
+        self, candidates: list[int], scores: np.ndarray, pid: int
+    ) -> tuple[int, float]:
+        """Argmax with a deterministic tie-break: lowest vertex id wins.
+
+        Candidates that meanwhile acquired a mention of ``pid`` (an
+        earlier position of the same paper attached there) are skipped —
+        the structural filter re-checked at apply time.  Returns
+        ``(index, score)``; ``(-1, -inf)`` when nothing is admissible.
+
+        Enumeration order deliberately plays no role: ``np.argmax`` would
+        return the first maximal entry, making equal-score attachments
+        depend on name-index insertion order, which differs between a
+        whole-corpus fit and a stitched sharded fit.
+        """
+        gcn = self.iuad.gcn_
+        assert gcn is not None
+        best_i = -1
+        best_vid = -1
+        best_score = float("-inf")
+        for i, vid in enumerate(candidates):
+            if pid in gcn.papers_of(vid):
+                continue
+            score = float(scores[i])
+            if score > best_score or (
+                score == best_score and (best_i < 0 or vid < best_vid)
+            ):
+                best_i, best_vid, best_score = i, vid, score
+        return best_i, best_score
+
+    def _apply_assignment(
+        self,
+        name: str,
+        pid: int,
+        position: int,
+        probe: int,
+        candidates: list[int],
+        scores: np.ndarray,
+    ) -> Assignment:
+        """Decide and mutate: attach to the best candidate or keep the probe.
+
+        ``scores`` is aligned with ``candidates`` (Eq. 11 matching scores
+        of the ``(probe, candidate)`` pairs).  Shared verbatim by the
+        scalar :meth:`add_paper` loop and the batched streaming waves —
+        the parity contract forbids letting the two decision paths drift.
+        """
+        gcn = self.iuad.gcn_
+        computer = self.iuad.computer_
+        assert gcn is not None and computer is not None
+        best_i, best_score = self._select_candidate(candidates, scores, pid)
+        if best_i >= 0 and best_score >= self.iuad.config.incremental_delta:
+            target = candidates[best_i]
             gcn.add_mention(target, pid, position)
             gcn.set_mentions(probe, ())
             self._drop_probe(probe)
             # Attaching the paper changed target's own keyword/venue
-            # profile but no adjacency; the structural ball is invalidated
-            # later, when add_paper inserts the recovered edges.
-            computer.invalidate_papers_only(target)
+            # profile but no adjacency: fold the paper into the cached
+            # profile in place (WL features and triangles stay valid; a
+            # full rebuild per later read would dominate hot streams).
+            # The structural ball is invalidated later, when the
+            # recovered edges go in.
+            computer.attach_paper(target, pid)
             self.report.n_attached += 1
             return Assignment(
                 name=name,
@@ -198,7 +370,8 @@ class IncrementalDisambiguator:
                 created=False,
                 score=best_score,
             )
-        computer.invalidate(probe)
+        if candidates:
+            computer.invalidate(probe)
         self.report.n_created += 1
         return Assignment(
             name=name,
@@ -207,6 +380,39 @@ class IncrementalDisambiguator:
             created=True,
             score=best_score,
         )
+
+    # ------------------------------------------------------------------ #
+    def _assign_mention(self, name: str, pid: int, position: int) -> Assignment:
+        """Scalar path: candidates → one scoring call → apply."""
+        computer = self.iuad.computer_
+        model = self.iuad.model_
+        assert computer is not None and model is not None
+        candidates = self._candidate_vids(name, pid)
+        probe = self._make_probe(name, pid, position)
+        if candidates:
+            pairs = [(probe, vid) for vid in candidates]
+            scores = match_scores(model, computer.pair_matrix(pairs))
+        else:
+            scores = np.empty(0, dtype=np.float64)
+        return self._apply_assignment(
+            name, pid, position, probe, candidates, scores
+        )
+
+    def _recover_paper_relations(
+        self, pid: int, assignments: list[Assignment]
+    ) -> set[int]:
+        """Insert the paper's collaboration edges; returns touched vids."""
+        gcn = self.iuad.gcn_
+        assert gcn is not None
+        vids = [a.vid for a in assignments]
+        touched: set[int] = set()
+        for i, u in enumerate(vids):
+            for v in vids[i + 1 :]:
+                if u != v:
+                    gcn.add_edge(u, v, (pid,))
+                    touched.add(u)
+                    touched.add(v)
+        return touched
 
     def _drop_probe(self, probe: int) -> None:
         """Remove the temporary probe vertex (it never acquired edges).

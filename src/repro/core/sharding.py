@@ -195,6 +195,24 @@ class ShardIndex:
                 self._name_to_shard[name] = canonical
         return self._uf.find(canonical)
 
+    def route_papers(
+        self, author_lists: Iterable[Iterable[str]]
+    ) -> list[int]:
+        """Bulk routing: one canonical shard id per paper, in order.
+
+        The batched streaming path (:class:`repro.core.streaming.
+        StreamingIngestor`) routes a whole burst through here before
+        planning its waves.  Routing is applied paper by paper *in input
+        order* — bridging is order-sensitive (the shard a paper lands on
+        depends on the unions performed so far), and the sequential
+        ``add_paper`` loop routes in exactly that order, which is what
+        keeps the index state and the per-shard counters in parity.
+        Returned ids are canonical at the time each paper was routed; a
+        later bridge may merge them further (resolve via
+        :meth:`shard_of_name` for the current canonical id).
+        """
+        return [self.route_paper(names) for names in author_lists]
+
 
 # --------------------------------------------------------------------- #
 # partitioner

@@ -106,6 +106,35 @@ def shard_summary(report: Any) -> dict[str, float]:
     }
 
 
+def streaming_summary(report: Any) -> dict[str, float]:
+    """Flatten an incremental/streaming report for benchmark records.
+
+    Duck-typed over :class:`repro.core.incremental.IncrementalReport`
+    (optionally filled by the batched
+    :class:`repro.core.streaming.StreamingIngestor`) so this evaluation
+    helper needs no import from ``core``.  The returned dict is flat and
+    JSON-ready — the streaming benchmark embeds it into
+    ``BENCH_streaming.json`` next to the stage seconds.
+    ``papers_per_wave`` is the batching yield: how many papers each
+    dependency wave carried on average (1.0 means the burst degenerated
+    to the sequential loop).
+    """
+    n_papers = getattr(report, "n_papers", 0)
+    n_waves = getattr(report, "n_waves", 0)
+    return {
+        "n_papers": n_papers,
+        "n_mentions": getattr(report, "n_mentions", 0),
+        "n_attached": getattr(report, "n_attached", 0),
+        "n_created": getattr(report, "n_created", 0),
+        "n_duplicates": getattr(report, "n_duplicates", 0),
+        "n_batches": getattr(report, "n_batches", 0),
+        "n_waves": n_waves,
+        "papers_per_wave": round(n_papers / n_waves, 3) if n_waves else 0.0,
+        "n_shards_touched": len(getattr(report, "per_shard_papers", {}) or {}),
+        "avg_ms_per_paper": round(getattr(report, "avg_ms_per_paper", 0.0), 6),
+    }
+
+
 @dataclass(frozen=True, slots=True)
 class TimingResult:
     """Per-name average wall-clock of one method at one data scale."""

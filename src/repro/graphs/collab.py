@@ -29,7 +29,7 @@ profiles consume; for pipeline-built networks it is exactly
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .unionfind import UnionFind
 
@@ -212,6 +212,16 @@ class CollaborationNetwork:
     def neighbors(self, vid: int) -> dict[int, set[int]]:
         """Adjacent vertices with the shared paper set of each edge."""
         return dict(self._adj[vid])
+
+    def adjacency(self, vid: int) -> Mapping[int, set[int]]:
+        """Read-only view of ``vid``'s adjacency — no defensive copy.
+
+        The hot paths (WL feature maps, triangle enumeration, BFS
+        invalidation balls) walk adjacencies millions of times; copying a
+        dict per visit (:meth:`neighbors`) dominates their cost.  Callers
+        must not mutate the returned mapping.
+        """
+        return self._adj[vid]
 
     def degree(self, vid: int) -> int:
         return len(self._adj[vid])

@@ -29,10 +29,34 @@ def ball(net: CollaborationNetwork, vid: int, radius: int) -> set[int]:
         node, depth = frontier.popleft()
         if depth == radius:
             continue
-        for nbr in net.neighbors(node):
+        for nbr in net.adjacency(node):
             if nbr not in seen:
                 seen.add(nbr)
                 frontier.append((nbr, depth + 1))
+    return seen
+
+
+def multi_source_ball(
+    net: CollaborationNetwork, seeds, radius: int
+) -> set[int]:
+    """Vertices within ``radius`` hops of *any* seed (multi-source BFS).
+
+    The shared traversal behind cache invalidation
+    (``SimilarityComputer.invalidate_many``) and the streaming walk's
+    value stains — one implementation, so the two can never drift apart
+    (the parity contract of :mod:`repro.core.streaming` depends on their
+    equivalence).  Unknown seeds are ignored by callers before calling.
+    """
+    seen = set(seeds)
+    frontier = list(seen)
+    for _ in range(radius):
+        next_frontier: list[int] = []
+        for vid in frontier:
+            for nbr in net.adjacency(vid):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    next_frontier.append(nbr)
+        frontier = next_frontier
     return seen
 
 
@@ -61,7 +85,7 @@ def wl_feature_map(
         new_labels: dict[int, str] = {}
         for u in nodes:
             neighbour_labels = sorted(
-                labels[w] for w in net.neighbors(u) if w in nodes
+                labels[w] for w in net.adjacency(u) if w in nodes
             )
             signature = labels[u] + "|" + ",".join(neighbour_labels)
             new_labels[u] = signature

@@ -311,6 +311,7 @@ class BatchSimilarityEngine:
         pairs: Sequence[Pair],
         profile_of: Callable[[int], VertexProfile],
         alpha: float,
+        transient: frozenset[int] = frozenset(),
     ) -> np.ndarray:
         """``(n_pairs, 6)`` γ matrix, numerically matching the scalar path.
 
@@ -319,6 +320,15 @@ class BatchSimilarityEngine:
             profile_of: Profile accessor (normally the owning computer's
                 cached ``profile`` method).
             alpha: Decay α of the time-consistency similarity (Eq. 7).
+            transient: Vertex ids scored *once and discarded*: their
+                columnar arrays are built for this call but never enter
+                the per-vertex cache, and their centroid slots are
+                released on return — the probe-vs-existing scoring mode
+                for callers that score throwaway vertices and will not
+                read them again (a caller that *will* re-read its probes,
+                like the streaming walk's inline patching, should leave
+                them cacheable instead).  A transient vid that happens to
+                be cached already is served from (and left in) the cache.
         """
         n = len(pairs)
         out = np.empty((n, 6), dtype=np.float64)
@@ -328,10 +338,15 @@ class BatchSimilarityEngine:
         vids = np.unique(pairs_arr)
         cached = self._arrays.get
         rows: list[VertexArrays] = []
+        borrowed: list[VertexArrays] = []
         for vid in vids.tolist():
             arrays = cached(vid)
             if arrays is None:
-                arrays = self.arrays_of(profile_of(vid))
+                if vid in transient:
+                    arrays = self._build(profile_of(vid))
+                    borrowed.append(arrays)
+                else:
+                    arrays = self.arrays_of(profile_of(vid))
             rows.append(arrays)
         us = np.searchsorted(vids, pairs_arr[:, 0])
         vs = np.searchsorted(vids, pairs_arr[:, 1])
@@ -372,6 +387,10 @@ class BatchSimilarityEngine:
         gamma5, gamma6 = self._gamma56(rows, us, vs, top_cols)
         out[:, 4] = gamma5 / tau
         out[:, 5] = gamma6 / tau
+        # Release transient centroid slots only now — γ3 read them above.
+        for arrays in borrowed:
+            if arrays.cent_slot >= 0:
+                self._cent_free.append(arrays.cent_slot)
         return out
 
     # -- assembly helpers ---------------------------------------------- #

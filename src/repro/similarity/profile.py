@@ -52,7 +52,7 @@ import numpy as np
 from ..data.records import Corpus
 from ..graphs.collab import CollaborationNetwork
 from ..graphs.triangles import coauthor_triangle_names
-from ..graphs.wl import wl_feature_map
+from ..graphs.wl import multi_source_ball, wl_feature_map
 from ..text.embeddings import WordEmbeddings, cosine
 from ..text.tokenize import corpus_word_frequencies, extract_keywords
 from .batch import BatchSimilarityEngine
@@ -140,6 +140,11 @@ class SimilarityComputer:
             venue_frequencies = corpus.venue_frequencies
         self.venue_frequencies = venue_frequencies
         self._profiles: dict[int, VertexProfile] = {}
+        # Papers are immutable, so their extracted keywords are memoised
+        # across vertices (co-authors share papers) and across profile
+        # rebuilds after invalidation — tokenising titles repeatedly was
+        # a measurable slice of profile construction on hot paths.
+        self._paper_keywords: dict[int, tuple[str, ...]] = {}
         self._engine = BatchSimilarityEngine(
             self.word_frequencies, self.venue_frequencies
         )
@@ -182,35 +187,77 @@ class SimilarityComputer:
         the (largely overlapping) balls once — the per-paper hot path of
         incremental mode batches its edge endpoints through here.
         """
-        stained = set()
-        frontier: list[int] = []
+        present: list[int] = []
         for vid in vids:
             if vid in self.net:
-                if vid not in stained:
-                    stained.add(vid)
-                    frontier.append(vid)
+                present.append(vid)
             else:
                 self._drop(vid)
-        for _ in range(max(1, self.wl_iterations)):
-            next_frontier: list[int] = []
-            for vid in frontier:
-                for nbr in self.net.neighbors(vid):
-                    if nbr not in stained:
-                        stained.add(nbr)
-                        next_frontier.append(nbr)
-            frontier = next_frontier
-        for vid in stained:
+        for vid in multi_source_ball(
+            self.net, present, max(1, self.wl_iterations)
+        ):
             self._drop(vid)
 
-    def invalidate_papers_only(self, vid: int) -> None:
-        """Drop just ``vid``'s own profile after a paper-set change.
+    def invalidate_exact(self, vids: Iterable[int]) -> None:
+        """Drop exactly the given cached profiles — no ball traversal.
 
-        Attaching a paper to a vertex changes its keywords/venues/years but
-        no adjacency, so neighbours' WL features and triangles are intact —
-        no ball traversal needed.  Edge insertions must use
-        :meth:`invalidate` / :meth:`invalidate_many` instead.
+        For callers that already computed the affected region themselves:
+        the streaming walk derives each paper's invalidation set from the
+        same multi-source BFS it runs for dependency staining, so
+        re-walking the ball here (as :meth:`invalidate_many` would) would
+        do the traversal twice.  The caller owns the correctness of the
+        set; when in doubt use :meth:`invalidate` / :meth:`invalidate_many`.
         """
-        self._drop(vid)
+        for vid in vids:
+            self._drop(vid)
+
+    def attach_paper(self, vid: int, pid: int) -> None:
+        """Fold one newly attributed paper into ``vid``'s cached profile.
+
+        The incremental path's attach operation changes no adjacency, so
+        the expensive profile ingredients — WL features and triangles —
+        are reusable verbatim; only the keyword/venue/year state moves.
+        Updating in place instead of dropping saves a full rebuild per
+        later read of the vertex, the dominant cost of streaming into
+        hot name blocks.  The engine's columnar mirror is still dropped
+        (it is derived from the profile and rebuilt on demand).
+
+        Equivalence: the updated profile matches a from-scratch rebuild
+        up to dict insertion order (float-noise class, same as the
+        batch-vs-scalar contract), except ``top_venue``, whose
+        ``most_common`` tie-break *depends* on insertion order — venues
+        are therefore re-derived in the canonical sorted-paper order a
+        rebuild would use.
+        """
+        profile = self._profiles.get(vid)
+        self._engine.invalidate(vid)
+        if profile is None:
+            return  # nothing cached; the next read rebuilds from scratch
+        vertex = self.net.vertex(vid)
+        paper = self.corpus[pid]
+        profile.n_papers = len(vertex.papers)
+        words = self._paper_keywords.get(pid)
+        if words is None:
+            words = tuple(
+                extract_keywords(paper.title, self.frequent_keywords)
+            )
+            self._paper_keywords[pid] = words
+        for word in words:
+            profile.keywords[word] += 1
+            lo, hi = profile.keyword_years.get(word, (paper.year, paper.year))
+            profile.keyword_years[word] = (
+                min(lo, paper.year), max(hi, paper.year)
+            )
+        venues: Counter[str] = Counter()
+        for p in sorted(vertex.papers):
+            venues[self.corpus[p].venue] += 1
+        profile.venues = venues
+        profile.top_venue = venues.most_common(1)[0][0] if venues else None
+        profile.centroid = (
+            self.embeddings.centroid(profile.keywords)
+            if self.embeddings
+            else None
+        )
 
     def rebind(
         self,
@@ -249,7 +296,13 @@ class SimilarityComputer:
         for pid in sorted(vertex.papers):
             paper = self.corpus[pid]
             venues[paper.venue] += 1
-            for word in extract_keywords(paper.title, self.frequent_keywords):
+            words = self._paper_keywords.get(pid)
+            if words is None:
+                words = tuple(
+                    extract_keywords(paper.title, self.frequent_keywords)
+                )
+                self._paper_keywords[pid] = words
+            for word in words:
                 keywords[word] += 1
                 lo, hi = keyword_years.get(word, (paper.year, paper.year))
                 keyword_years[word] = (min(lo, paper.year), max(hi, paper.year))
@@ -306,29 +359,49 @@ class SimilarityComputer:
 
     # ------------------------------------------------------------------ #
     def pair_matrix(
-        self, pairs: Sequence[tuple[int, int]]
+        self,
+        pairs: Sequence[tuple[int, int]],
+        transient: frozenset[int] = frozenset(),
     ) -> np.ndarray:
         """Similarity vectors for many pairs, stacked into ``(n, 6)``.
 
         Dispatches to the vectorised :mod:`.batch` engine when the list is
         long enough to amortise its fixed assembly cost (see
         ``batch_threshold``); both paths agree to well below 1e-9.
+
+        ``transient`` names score-once-and-discard vertices: their
+        profiles and columnar arrays are built for this call but do not
+        linger in either cache afterwards.  Use it when the vertices
+        will never be scored again; callers that re-read their probes
+        (the streaming walk patches stale pairs against the same probes
+        later) deliberately leave them cacheable.
         """
         if len(pairs) >= self.batch_threshold:
-            return self.pair_matrix_batched(pairs)
-        return self.pair_matrix_perpair(pairs)
+            return self.pair_matrix_batched(pairs, transient=transient)
+        return self.pair_matrix_perpair(pairs, transient=transient)
 
     def pair_matrix_perpair(
-        self, pairs: Sequence[tuple[int, int]]
+        self,
+        pairs: Sequence[tuple[int, int]],
+        transient: frozenset[int] = frozenset(),
     ) -> np.ndarray:
         """Reference scalar path: one :meth:`similarity_vector` per pair."""
         out = np.empty((len(pairs), N_SIMILARITIES), dtype=np.float64)
         for row, (u, v) in enumerate(pairs):
             out[row] = self.similarity_vector(u, v)
+        for vid in transient:
+            self._profiles.pop(vid, None)
         return out
 
     def pair_matrix_batched(
-        self, pairs: Sequence[tuple[int, int]]
+        self,
+        pairs: Sequence[tuple[int, int]],
+        transient: frozenset[int] = frozenset(),
     ) -> np.ndarray:
         """Vectorised path: all six γ's over the whole list at once."""
-        return self._engine.gamma_matrix(pairs, self.profile, self.decay_alpha)
+        gammas = self._engine.gamma_matrix(
+            pairs, self.profile, self.decay_alpha, transient=transient
+        )
+        for vid in transient:
+            self._profiles.pop(vid, None)
+        return gammas

@@ -169,3 +169,106 @@ class TestEngineCache:
         # Grow-only column spaces: rebuilt vertices reuse their old ids.
         assert len(engine._kw) == n_kw
         assert len(engine._ven) == n_ven
+
+    def test_transient_vertices_bypass_caches(self, small_corpus, embeddings):
+        """The probe-scoring path: transient vids are scored once and
+        leave neither profile nor columnar arrays (nor leaked centroid
+        slots) behind."""
+        net, _ = build_scn(small_corpus, eta=2)
+        computer = SimilarityComputer(
+            net, small_corpus, embeddings=embeddings
+        )
+        pairs = _all_pairs(net)[:24]
+        probes = sorted({u for u, _v in pairs})
+        plain = computer.pair_matrix_batched(pairs)
+        for vid in probes:
+            computer.invalidate(vid)
+        engine = computer._engine
+        used_before = engine._cent_used - len(engine._cent_free)
+        transient = computer.pair_matrix_batched(
+            pairs, transient=frozenset(probes)
+        )
+        np.testing.assert_allclose(transient, plain, rtol=0.0, atol=ATOL)
+        for vid in probes:
+            assert not computer.is_cached(vid)
+            assert vid not in engine
+        # Centroid slots borrowed for the transient rows were released.
+        assert engine._cent_used - len(engine._cent_free) <= used_before
+
+    def test_transient_scalar_path_drops_profiles(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        computer = SimilarityComputer(
+            net, small_corpus, embeddings=None, batch_threshold=10**9
+        )
+        pairs = _all_pairs(net)[:4]
+        probes = frozenset(u for u, _v in pairs)
+        computer.pair_matrix(pairs, transient=probes)
+        for vid in probes:
+            assert not computer.is_cached(vid)
+
+    def test_invalidate_exact_drops_only_given_vids(self, small_corpus):
+        net, _ = build_scn(small_corpus, eta=2)
+        computer = SimilarityComputer(net, small_corpus, embeddings=None)
+        pairs = _all_pairs(net)[:20]
+        computer.pair_matrix_batched(pairs)
+        (u0, v0) = pairs[0]
+        others = [v for pair in pairs[1:] for v in pair if v not in (u0, v0)]
+        computer.invalidate_exact([u0, v0])
+        assert not computer.is_cached(u0) and not computer.is_cached(v0)
+        assert u0 not in computer._engine and v0 not in computer._engine
+        assert any(computer.is_cached(v) for v in others)
+
+
+class TestAttachPaper:
+    def test_in_place_update_matches_rebuild(self, small_corpus, embeddings):
+        """`attach_paper` must be value-equivalent to dropping the profile
+        and rebuilding it after the mention landed."""
+        corpus = Corpus(list(small_corpus))  # session fixture stays pristine
+        net, _ = build_scn(corpus, eta=2)
+        computer = SimilarityComputer(net, corpus, embeddings=embeddings)
+        target = next(
+            v.vid
+            for v in net
+            if v.papers and len(net.vertices_of_name(v.name)) >= 1
+        )
+        new_pid = max(p.pid for p in corpus) + 1
+        paper = Paper(
+            pid=new_pid,
+            authors=(net.name_of(target),),
+            title="streaming attachment of shared venue work",
+            venue=next(iter(corpus)).venue,
+            year=2021,
+        )
+        corpus.add(paper)
+        computer.profile(target)  # warm the cache
+        net.add_mention(target, new_pid, 0)
+        computer.attach_paper(target, new_pid)
+        updated = computer.profile(target)
+        rebuilt = computer._build_profile(target)
+        assert updated.n_papers == rebuilt.n_papers
+        assert updated.keywords == rebuilt.keywords
+        assert updated.keyword_years == rebuilt.keyword_years
+        assert updated.venues == rebuilt.venues
+        assert updated.top_venue == rebuilt.top_venue
+        assert updated.wl_features == rebuilt.wl_features
+        assert updated.triangles == rebuilt.triangles
+        if updated.centroid is None:
+            assert rebuilt.centroid is None
+        else:
+            np.testing.assert_allclose(
+                updated.centroid, rebuilt.centroid, rtol=0.0, atol=1e-12
+            )
+
+    def test_attach_on_cold_cache_is_noop(self, small_corpus):
+        corpus = Corpus(list(small_corpus))
+        net, _ = build_scn(corpus, eta=2)
+        computer = SimilarityComputer(net, corpus, embeddings=None)
+        target = next(v.vid for v in net if v.papers)
+        new_pid = max(p.pid for p in corpus) + 2
+        corpus.add(Paper(new_pid, (net.name_of(target),), "cold", "V", 2021))
+        net.add_mention(target, new_pid, 0)
+        computer.attach_paper(target, new_pid)  # nothing cached: no-op
+        assert not computer.is_cached(target)
+        profile = computer.profile(target)
+        assert new_pid in net.papers_of(target)
+        assert profile.n_papers == len(net.papers_of(target))

@@ -1,5 +1,8 @@
 """Tests for incremental single-paper disambiguation (Section V-E)."""
 
+import copy
+
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -129,6 +132,133 @@ class TestIncremental:
         report = IncrementalReport()
         assert report.n_papers == 0
         assert report.avg_ms_per_paper == 0.0
+
+
+class TestDuplicatePaperPolicy:
+    def test_default_policy_raises_and_mutates_nothing(self, base_setup):
+        """Regression: re-ingesting a pid must never append the paper a
+        second time — a double-attached mention would violate the
+        one-mention-per-paper invariant."""
+        iuad, _td, _new, full_corpus = base_setup
+        inc = IncrementalDisambiguator(copy.deepcopy(iuad))
+        paper = next(iter(inc.iuad.corpus_))
+        n_before = inc.iuad.gcn_.n_mentions
+        with pytest.raises(ValueError, match="already"):
+            inc.add_paper(paper)
+        assert inc.report.n_papers == 0
+        assert inc.iuad.gcn_.n_mentions == n_before
+
+    def test_return_policy_is_idempotent(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=8)
+        _base, new_pids = split_for_incremental(td, 10)
+        new_set = set(new_pids)
+        base = Corpus(p for p in small_corpus if p.pid not in new_set)
+        iuad = IUAD(
+            IUADConfig(duplicate_paper_policy="return")
+        ).fit(base, names=td.names)
+        inc = IncrementalDisambiguator(iuad)
+        paper = small_corpus[new_pids[0]]
+        first = inc.add_paper(paper)
+        state = sorted(
+            (v.vid, tuple(sorted(v.mentions.items()))) for v in iuad.gcn_
+        )
+        replay = inc.add_paper(paper)
+        # Same owners, nothing mutated, counted as a duplicate.
+        assert [a.vid for a in replay] == [a.vid for a in first]
+        assert all(not a.created and np.isnan(a.score) for a in replay)
+        assert (
+            sorted(
+                (v.vid, tuple(sorted(v.mentions.items()))) for v in iuad.gcn_
+            )
+            == state
+        )
+        assert inc.report.n_papers == 1
+        assert inc.report.n_duplicates == 1
+
+    def test_return_policy_answers_for_base_corpus_papers(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=8)
+        _base, new_pids = split_for_incremental(td, 10)
+        new_set = set(new_pids)
+        base = Corpus(p for p in small_corpus if p.pid not in new_set)
+        iuad = IUAD(
+            IUADConfig(duplicate_paper_policy="return")
+        ).fit(base, names=td.names)
+        inc = IncrementalDisambiguator(iuad)
+        paper = next(iter(base))
+        replay = inc.add_paper(paper)
+        assert len(replay) == len(paper.authors)
+        for position, assignment in enumerate(replay):
+            assert assignment.vid >= 0
+            mentions = iuad.gcn_.mentions_of(assignment.vid)
+            assert mentions.get(paper.pid) == position
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="duplicate_paper_policy"):
+            IUADConfig(duplicate_paper_policy="explode")
+
+
+class TestBoundedTimingWindow:
+    def test_window_is_bounded_but_average_exact(self, base_setup):
+        """Regression: per_paper_seconds must not grow without bound; the
+        Table-VI average stays exact via running sums."""
+        iuad, _td, _new, _full = base_setup
+        fitted = copy.deepcopy(iuad)
+        fitted.config.incremental_timing_window = 4
+        inc = IncrementalDisambiguator(fitted)
+        next_pid = max(p.pid for p in fitted.corpus_) + 1
+        for i in range(11):
+            inc.add_paper(
+                Paper(next_pid + i, (f"Window Person {i}",), "t", "V", 2021)
+            )
+        report = inc.report
+        assert report.n_papers == 11
+        assert len(report.per_paper_seconds) == 4  # bounded window
+        assert report.seconds >= sum(report.per_paper_seconds)
+        assert report.avg_ms_per_paper == pytest.approx(
+            1000.0 * report.seconds / 11
+        )
+        assert report.recent_avg_ms_per_paper == pytest.approx(
+            1000.0 * sum(report.per_paper_seconds) / 4
+        )
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="timing_window"):
+            IncrementalReport(timing_window=0)
+        with pytest.raises(ValueError, match="incremental_timing_window"):
+            IUADConfig(incremental_timing_window=0)
+
+
+class TestTieBreak:
+    def test_equal_scores_attach_to_lowest_vid(self, base_setup):
+        """Regression: the argmax tie-break is the lowest vertex id, not
+        candidate enumeration order — equal-score candidates must attach
+        identically after a shard stitch and a whole-corpus fit, whose
+        name-index orders differ."""
+        iuad, _td, _new, _full = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        fresh_pid = 10**8 + 7
+        scores = np.array([1.5, 1.5, 0.5])
+        # Enumeration order lists the higher vid first: the old
+        # np.argmax picked index 0; the contract demands the lowest vid.
+        a, b, c = sorted(v.vid for v in iuad.gcn_)[:3]
+        idx, best = inc._select_candidate([b, a, c], scores, fresh_pid)
+        assert (idx, best) == (1, 1.5)  # a < b, same score
+        idx, best = inc._select_candidate([a, b, c], scores, fresh_pid)
+        assert (idx, best) == (0, 1.5)
+
+    def test_pid_owners_are_skipped_at_apply_time(self, base_setup):
+        iuad, _td, _new, _full = base_setup
+        inc = IncrementalDisambiguator(iuad)
+        vertex = next(iter(iuad.gcn_))
+        owned_pid = next(iter(vertex.papers))
+        other = next(
+            v.vid for v in iuad.gcn_ if owned_pid not in v.papers
+        )
+        idx, best = inc._select_candidate(
+            [vertex.vid, other], np.array([9.0, 1.0]), owned_pid
+        )
+        # the higher-scoring candidate already owns the paper: barred
+        assert idx == 1 and best == 1.0
 
 
 class TestIncrementalQuality:
