@@ -1,0 +1,102 @@
+"""Snapshot I/O throughput: save/load papers-per-second, both backends.
+
+Fits one synthetic corpus, then measures, for the JSONL and the SQLite
+backend: serialize+write (``save``), read+decode+rebuild (``load``), and
+the on-disk size.  Round-trip *exactness* is asserted in every mode —
+the restored network, model parameters and name-index order must be
+identical to the fitted ones (the resume-parity contract of
+``tests/test_snapshot_parity.py``, re-checked here at bench scale).
+
+The record lands in ``BENCH_snapshot.json`` at the repo root (tracked;
+full-mode runs refresh it — commit the refresh together with io/
+changes).  ``BENCH_QUICK=1`` smoke runs shrink the corpus and record to
+the untracked ``BENCH_snapshot.quick.json`` instead.  Throughput floors
+are deliberately loose (I/O on shared runners is noisy); the headline
+numbers are the recorded ones.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import IUAD, IUADConfig
+from repro.data.synthetic import SyntheticConfig, SyntheticDBLP
+from repro.eval.timing import snapshot_summary, write_benchmark_json
+from repro.io import Snapshot, snapshot_of
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+OUT_PATH = Path(__file__).resolve().parents[1] / (
+    "BENCH_snapshot.quick.json" if QUICK else "BENCH_snapshot.json"
+)
+
+BACKENDS = ("jsonl", "sqlite")
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    if QUICK:
+        cfg = SyntheticConfig(
+            n_authors=300, n_papers=700, name_pool_size=200,
+            n_communities=30, seed=5,
+        )
+    else:
+        cfg = SyntheticConfig(
+            n_authors=1200, n_papers=3000, name_pool_size=500,
+            n_communities=80, seed=5,
+        )
+    corpus = SyntheticDBLP(cfg).generate()
+    return IUAD(IUADConfig()).fit(corpus)
+
+
+def _roundtrip(fitted, backend, path):
+    t0 = time.perf_counter()
+    fitted.save(path, backend=backend)
+    save_seconds = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    loaded = IUAD.load(path)
+    load_seconds = time.perf_counter() - t1
+
+    # exactness at bench scale, both directions of the boundary
+    assert loaded.gcn_.export_parts() == fitted.gcn_.export_parts()
+    assert loaded.scn_.export_parts() == fitted.scn_.export_parts()
+    assert loaded.model_.state_dict() == fitted.model_.state_dict()
+    return save_seconds, load_seconds, path.stat().st_size
+
+
+def test_snapshot_io_throughput(benchmark, fitted, tmp_path):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    n_papers = len(fitted.corpus_)
+    stages: dict[str, float] = {}
+    sizes: dict[str, int] = {}
+    for backend in BACKENDS:
+        suffix = "sqlite" if backend == "sqlite" else "jsonl"
+        save_s, load_s, size = _roundtrip(
+            fitted, backend, tmp_path / f"bench.{suffix}"
+        )
+        stages[f"save_{backend}"] = save_s
+        stages[f"load_{backend}"] = load_s
+        sizes[backend] = size
+        # loose sanity floor: persistence must stay orders of magnitude
+        # cheaper than the fit it makes resumable
+        assert save_s < 60 and load_s < 60
+    payload = write_benchmark_json(
+        OUT_PATH, "snapshot_io", stages, quick=QUICK,
+        **snapshot_summary(stages, n_papers, sizes),
+    )
+    print("\nsnapshot i/o:", payload)
+
+
+def test_checkpoint_overhead_is_bounded(fitted, tmp_path):
+    """An auto-checkpoint (the streaming path's unit of durability) costs
+    one save; it must not dwarf the ingest it protects."""
+    snapshot = snapshot_of(fitted)
+    t0 = time.perf_counter()
+    snapshot.save(tmp_path / "ck.jsonl")
+    seconds = time.perf_counter() - t0
+    reloaded = Snapshot.load(tmp_path / "ck.jsonl")
+    assert len(reloaded.gcn) == len(fitted.gcn_)
+    assert seconds < 30

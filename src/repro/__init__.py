@@ -19,6 +19,7 @@ from .core import (
     disambiguate,
 )
 from .data import Corpus, Paper, generate_corpus, generate_world
+from .io import Snapshot
 
 __version__ = "1.0.0"
 
@@ -28,6 +29,7 @@ __all__ = [
     "IUADConfig",
     "IncrementalDisambiguator",
     "Paper",
+    "Snapshot",
     "StreamingIngestor",
     "disambiguate",
     "generate_corpus",

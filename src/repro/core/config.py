@@ -87,6 +87,13 @@ class IUADConfig:
             retains (a bounded rolling window).  The Table-VI average
             stays exact via running sums regardless of the window size;
             the window only bounds memory on long streams.
+        checkpoint_every_n_papers: Automatic durable checkpointing of the
+            streaming path: after at least this many freshly ingested
+            papers, :class:`repro.core.streaming.StreamingIngestor`
+            writes a snapshot to its configured checkpoint path
+            (atomic tmp+fsync+rename, see :mod:`repro.io`).  ``0``
+            (default) disables auto-checkpointing; explicit
+            ``checkpoint()`` calls work either way.
     """
 
     eta: int = 2
@@ -113,6 +120,7 @@ class IUADConfig:
     max_shard_size: int = 4000
     duplicate_paper_policy: str = "raise"
     incremental_timing_window: int = 4096
+    checkpoint_every_n_papers: int = 0
 
     def __post_init__(self) -> None:
         if self.eta < 1:
@@ -128,6 +136,11 @@ class IUADConfig:
             raise ValueError(
                 "incremental_timing_window must be >= 1, got "
                 f"{self.incremental_timing_window}"
+            )
+        if self.checkpoint_every_n_papers < 0:
+            raise ValueError(
+                "checkpoint_every_n_papers must be >= 0, got "
+                f"{self.checkpoint_every_n_papers}"
             )
         if self.max_shard_size < 0:
             raise ValueError(

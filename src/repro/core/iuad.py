@@ -487,6 +487,47 @@ class IUAD:
         return touched
 
     # ------------------------------------------------------------------ #
+    # persistence (durable snapshots, warm-start resume)
+    # ------------------------------------------------------------------ #
+    def save(self, path, backend: str | None = None):
+        """Persist the complete fitted state as a durable snapshot.
+
+        ``backend`` selects ``"jsonl"`` (human-diffable, streaming-
+        friendly) or ``"sqlite"`` (queryable single file); when omitted
+        it is inferred from an existing file's bytes or the path suffix
+        (``.sqlite``/``.sqlite3``/``.db`` → SQLite, else JSONL).  The
+        write is atomic (tmp + fsync + rename).  Fit diagnostics
+        (``report_``) are not part of the snapshot.  Returns the path.
+        """
+        from ..io.snapshot import snapshot_of
+
+        self._require_fitted()
+        return snapshot_of(self).save(path, backend=backend)
+
+    @classmethod
+    def load(cls, path, backend: str | None = None) -> "IUAD":
+        """Restore a fitted estimator from :meth:`save` output.
+
+        The loaded estimator serves queries and absorbs streamed papers
+        exactly as the saved one would — same vertex ids, same
+        ``next_vid`` watermark, same name-index order, same learned
+        parameters and fit-time frequency tables (resume parity is
+        pinned by ``tests/test_snapshot_parity.py``).  A snapshot of a
+        :class:`~repro.core.sharding.ShardedIUAD` restores that class,
+        shard index and all; loading it through a class it does not
+        satisfy raises ``TypeError``.
+        """
+        from ..io.snapshot import Snapshot
+
+        estimator = Snapshot.load(path, backend=backend).restore()
+        if not isinstance(estimator, cls):
+            raise TypeError(
+                f"snapshot at {path} holds a "
+                f"{type(estimator).__name__}, not a {cls.__name__}"
+            )
+        return estimator
+
+    # ------------------------------------------------------------------ #
     # fitted-state accessors
     # ------------------------------------------------------------------ #
     def _require_fitted(self) -> None:

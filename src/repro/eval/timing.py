@@ -135,6 +135,29 @@ def streaming_summary(report: Any) -> dict[str, float]:
     }
 
 
+def snapshot_summary(
+    stages: Mapping[str, float], n_papers: int, sizes: Mapping[str, int]
+) -> dict[str, Any]:
+    """Flatten snapshot-I/O measurements for benchmark records.
+
+    ``stages`` maps ``save_<backend>`` / ``load_<backend>`` to seconds
+    (cf. :class:`StageTimer`), ``sizes`` maps backend name to on-disk
+    bytes.  Emits papers-per-second per direction and backend — the
+    headline of ``BENCH_snapshot.json`` — next to the raw inputs, all
+    flat and JSON-ready for :func:`write_benchmark_json`.
+    """
+    out: dict[str, Any] = {"n_papers": n_papers}
+    for stage, seconds in stages.items():
+        direction, _, backend = stage.partition("_")
+        if direction in ("save", "load") and backend and seconds > 0:
+            out[f"{backend}_{direction}_papers_per_sec"] = round(
+                n_papers / seconds, 1
+            )
+    for backend, size in sizes.items():
+        out[f"{backend}_bytes"] = int(size)
+    return out
+
+
 @dataclass(frozen=True, slots=True)
 class TimingResult:
     """Per-name average wall-clock of one method at one data scale."""

@@ -36,6 +36,17 @@ from .unionfind import UnionFind
 #: A mention unit as stored on vertices: ``(paper id, co-author position)``.
 MentionKey = tuple[int, int]
 
+#: The JSON-ready structural state of a network, as produced by
+#: :meth:`CollaborationNetwork.export_parts` and consumed by
+#: :meth:`CollaborationNetwork.from_parts`:
+#: ``(vertices, edges, name_index, next_vid)``.
+NetworkParts = tuple[
+    list[tuple[int, str, list[int], list[MentionKey]]],
+    list[tuple[int, int, list[int]]],
+    list[tuple[str, list[int]]],
+    int,
+]
+
 
 @dataclass(slots=True)
 class Vertex:
@@ -263,6 +274,105 @@ class CollaborationNetwork:
             del self._by_name[name]
         del self._vertices[vid]
         del self._adj[vid]
+
+    # ------------------------------------------------------------------ #
+    # persistence (exact structural round-trip)
+    # ------------------------------------------------------------------ #
+    def export_parts(self) -> "NetworkParts":
+        """The complete structural state, in JSON-ready plain containers.
+
+        The counterpart of :meth:`from_parts`: ``(vertices, edges,
+        name_index, next_vid)`` where vertices ride in *insertion order*
+        (the order ``_vertices`` iterates), ``name_index`` preserves the
+        name-index key order and each name's vertex-list order (the order
+        Stage-2 candidate enumeration walks — it must survive a save/load
+        boundary for incremental decisions to stay deterministic), and
+        ``next_vid`` is the id-allocation watermark.  Paper sets and
+        mention maps are emitted sorted: they are consumed as sets/maps,
+        so sorting costs nothing and keeps serialized snapshots diffable.
+        """
+        vertices = [
+            (
+                v.vid,
+                v.name,
+                sorted(v.papers),
+                sorted(v.mentions.items()),
+            )
+            for v in self._vertices.values()
+        ]
+        edges = [(u, v, sorted(papers)) for u, v, papers in self.edges()]
+        name_index = [
+            (name, list(vids)) for name, vids in self._by_name.items()
+        ]
+        return vertices, edges, name_index, self._next_vid
+
+    @classmethod
+    def from_parts(
+        cls,
+        vertices: Sequence[tuple[int, str, Sequence[int], Sequence[MentionKey]]],
+        edges: Sequence[tuple[int, int, Sequence[int]]],
+        name_index: Sequence[tuple[str, Sequence[int]]],
+        next_vid: int,
+    ) -> "CollaborationNetwork":
+        """Rebuild a network exactly as :meth:`export_parts` captured it.
+
+        Unlike reconstruction through :meth:`add_vertex`/:meth:`add_edge`,
+        this restores the *private* orders too: the name index is written
+        verbatim (a network that lost and re-gained a name has an index
+        order no insertion replay can reproduce), edge supports never
+        leak into vertex paper attributions, and ``next_vid`` is restored
+        explicitly — validated against the live ids so a restored network
+        can never re-issue a vertex id that is still in use.
+        """
+        net = cls()
+        for vid, name, papers, mentions in vertices:
+            if vid in net._vertices:
+                raise ValueError(f"duplicate vertex id {vid} in snapshot")
+            mention_map = net._as_mention_map(vid, mentions)
+            net._vertices[vid] = Vertex(
+                vid=vid,
+                name=name,
+                papers=set(papers) | set(mention_map),
+                mentions=mention_map,
+            )
+            net._adj[vid] = {}
+        indexed: set[int] = set()
+        for name, vids in name_index:
+            if name in net._by_name:
+                raise ValueError(
+                    f"name index lists {name!r} twice; the second entry "
+                    "would shadow the first's vertices"
+                )
+            for vid in vids:
+                vertex = net._vertices.get(vid)
+                if vertex is None or vertex.name != name:
+                    raise ValueError(
+                        f"name index maps {name!r} to vertex {vid}, which "
+                        "is missing or carries a different name"
+                    )
+                if vid in indexed:
+                    raise ValueError(f"vertex {vid} indexed twice")
+                indexed.add(vid)
+            net._by_name[name] = list(vids)
+        if indexed != set(net._vertices):
+            missing = sorted(set(net._vertices) - indexed)
+            raise ValueError(f"vertices missing from name index: {missing[:5]}")
+        for u, v, papers in edges:
+            if u == v:
+                raise ValueError(f"self-loop on vertex {u} in snapshot")
+            if u not in net._vertices or v not in net._vertices:
+                raise ValueError(f"edge ({u}, {v}) references unknown vertex")
+            if v in net._adj[u]:
+                raise ValueError(f"edge ({u}, {v}) listed twice in snapshot")
+            net._adj[u][v] = set(papers)
+            net._adj[v][u] = set(papers)
+        if net._vertices and next_vid <= max(net._vertices):
+            raise ValueError(
+                f"next_vid {next_vid} would re-issue a live vertex id "
+                f"(max existing id is {max(net._vertices)})"
+            )
+        net._next_vid = next_vid
+        return net
 
     # ------------------------------------------------------------------ #
     # merging (Stage 2)

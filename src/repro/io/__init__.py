@@ -1,0 +1,37 @@
+"""Durable snapshots & warm-start resume: multi-backend persistence.
+
+Public surface:
+
+* :class:`~repro.io.snapshot.Snapshot` — the versioned, complete fitted
+  state (networks, model, embeddings, frequency tables, corpus, config,
+  sharding, streaming counters) with :meth:`~repro.io.snapshot.Snapshot.save`
+  / :meth:`~repro.io.snapshot.Snapshot.load` /
+  :meth:`~repro.io.snapshot.Snapshot.restore`;
+* :func:`~repro.io.snapshot.snapshot_of` — capture a fitted estimator;
+* :func:`~repro.io.snapshot.verify_snapshot` — the invariant sweep behind
+  ``tools/snapshot.py verify``;
+* :data:`~repro.io.backends.BACKENDS` /
+  :func:`~repro.io.backends.resolve_backend` — the interchangeable JSONL
+  and SQLite storage backends;
+* :data:`~repro.io.schema.SCHEMA_VERSION` — the document version.
+
+See ``docs/architecture.md`` ("Persistence & warm start") for the format
+and the atomicity contract.
+"""
+
+from .backends import BACKENDS, read_document, resolve_backend, write_document
+from .schema import FORMAT_NAME, SCHEMA_VERSION
+from .snapshot import Snapshot, ShardingState, snapshot_of, verify_snapshot
+
+__all__ = [
+    "BACKENDS",
+    "FORMAT_NAME",
+    "SCHEMA_VERSION",
+    "ShardingState",
+    "Snapshot",
+    "read_document",
+    "resolve_backend",
+    "snapshot_of",
+    "verify_snapshot",
+    "write_document",
+]

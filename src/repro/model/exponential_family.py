@@ -185,3 +185,58 @@ def make_component(family: str) -> Component:
     if family == "multinomial":
         return Multinomial()
     raise ValueError(f"unknown family {family!r}")
+
+
+# --------------------------------------------------------------------- #
+# persistence (exact parameter round-trip, JSON-ready)
+# --------------------------------------------------------------------- #
+def component_state(component: Component) -> dict:
+    """The fitted parameters of a component as a plain JSON-ready dict.
+
+    The inverse of :func:`component_from_state`.  Floats are emitted
+    as-is — JSON round-trips Python floats bit-exactly (``repr``-based
+    shortest representation), so a reloaded component scores pairs
+    identically to the one that was saved.
+    """
+    if isinstance(component, Gaussian):
+        return {"family": "gaussian", "mu": component.mu, "sigma": component.sigma}
+    if isinstance(component, Exponential):
+        return {"family": "exponential", "rate": component.rate}
+    if isinstance(component, ZeroInflatedExponential):
+        return {
+            "family": "zi_exponential",
+            "zero_mass": component.zero_mass,
+            "rate": component.rate,
+        }
+    if isinstance(component, Multinomial):
+        return {
+            "family": "multinomial",
+            "n_bins": component.n_bins,
+            "lo": component.lo,
+            "hi": component.hi,
+            "smoothing": component.smoothing,
+            "probs": [float(p) for p in component.probs],
+        }
+    raise TypeError(f"unknown component type {type(component).__name__}")
+
+
+def component_from_state(state: dict) -> Component:
+    """Rebuild a fitted component from :func:`component_state` output."""
+    family = state["family"]
+    if family == "gaussian":
+        return Gaussian(mu=state["mu"], sigma=state["sigma"])
+    if family == "exponential":
+        return Exponential(rate=state["rate"])
+    if family == "zi_exponential":
+        return ZeroInflatedExponential(
+            zero_mass=state["zero_mass"], rate=state["rate"]
+        )
+    if family == "multinomial":
+        return Multinomial(
+            n_bins=state["n_bins"],
+            lo=state["lo"],
+            hi=state["hi"],
+            smoothing=state["smoothing"],
+            probs=np.asarray(state["probs"], dtype=np.float64),
+        )
+    raise ValueError(f"unknown family {family!r}")

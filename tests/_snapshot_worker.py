@@ -1,0 +1,52 @@
+"""Subprocess worker for the snapshot resume-parity suite.
+
+``tests/test_snapshot_parity.py`` launches this in a **fresh Python
+process** to prove that warm-start resume does not lean on any state of
+the process that wrote the checkpoint:
+
+    python tests/_snapshot_worker.py <snapshot_in> <papers.jsonl> \
+        <batch|scalar> <snapshot_out> <assignments.json>
+
+The worker resumes an ingestor from ``snapshot_in``, streams the papers
+(one ``add_papers`` burst or a scalar ``add_paper`` loop), checkpoints
+the final state to ``snapshot_out`` and dumps the assignments as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def main(argv: list[str]) -> int:
+    snapshot_in, papers_path, mode, snapshot_out, assignments_out = argv
+
+    from repro.core import StreamingIngestor
+    from repro.data.records import Paper
+
+    ingestor = StreamingIngestor.resume(snapshot_in)
+    papers = [
+        Paper.from_json(line)
+        for line in Path(papers_path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if mode == "batch":
+        batches = ingestor.add_papers(papers)
+    elif mode == "scalar":
+        batches = [ingestor.add_paper(paper) for paper in papers]
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+    ingestor.checkpoint(snapshot_out)
+    payload = [
+        [[a.name, a.position, a.vid, a.created, a.score] for a in batch]
+        for batch in batches
+    ]
+    Path(assignments_out).write_text(json.dumps(payload), encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

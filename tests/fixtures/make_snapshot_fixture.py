@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate the committed v1 snapshot fixture (``snapshot_v1.jsonl``).
+
+The fixture pins **backward compatibility**: every future build must keep
+loading this exact file (``tests/test_snapshot_roundtrip.py::
+test_v1_fixture_still_loads_and_serves``), so the file is committed and
+this script is only ever re-run when the schema version itself bumps —
+in which case a *new* fixture is added next to the old one, never over
+it.
+
+The content is deliberately small but exercises every optional section:
+a sharded fit (``sharding`` section with plan + routing index), one
+streamed paper (``stream`` counters), homonym-bearing ground truth
+(mention payloads beyond position 0).
+
+Run:  PYTHONPATH=src python tests/fixtures/make_snapshot_fixture.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core import IUADConfig, ShardedIUAD, StreamingIngestor  # noqa: E402
+from repro.data.records import Corpus, Paper  # noqa: E402
+
+OUT = Path(__file__).with_name("snapshot_v1.jsonl")
+
+
+def main() -> None:
+    papers = [
+        Paper(0, ("X Y", "P A"), "query index join", "VLDB", 2001, (100, 1)),
+        Paper(1, ("X Y", "P A"), "index storage btree", "VLDB", 2002, (100, 1)),
+        Paper(2, ("X Y", "Q B"), "query optimization", "VLDB", 2003, (100, 2)),
+        Paper(3, ("X Y", "P A", "Q B"), "transaction recovery", "VLDB", 2004,
+              (100, 1, 2)),
+        Paper(4, ("X Y", "R C"), "image segmentation", "CVPR", 2001, (200, 3)),
+        Paper(5, ("X Y", "R C"), "object detection scene", "CVPR", 2002,
+              (200, 3)),
+        Paper(6, ("X Y", "S D"), "stereo depth tracking", "CVPR", 2003,
+              (200, 4)),
+        Paper(7, ("X Y", "R C", "S D"), "pose recognition", "CVPR", 2005,
+              (200, 3, 4)),
+    ]
+    estimator = ShardedIUAD(IUADConfig(max_shard_size=10)).fit(Corpus(papers))
+    stream = StreamingIngestor(estimator, checkpoint_path=OUT)
+    stream.add_paper(
+        Paper(8, ("X Y", "P A"), "btree query plans", "VLDB", 2006)
+    )
+    stream.checkpoint()
+    print(f"wrote {OUT} ({OUT.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

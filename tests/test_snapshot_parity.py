@@ -1,0 +1,226 @@
+"""Exact resume parity: fit → save → load in a subprocess → continue.
+
+The acceptance contract of the persistence subsystem (``repro.io``): a
+stream that is checkpointed, reloaded in a **fresh process** and
+continued produces the *identical* network (vertex ids, ``next_vid``,
+mention payloads, edge paper sets, name-index order), assignments,
+report counters and cannot-link state as an uninterrupted run — for both
+backends (JSONL, SQLite) and for both estimators (``IUAD``,
+``ShardedIUAD``).  Model parameters round-trip bit-exactly; assignment
+scores match to the batch-engine tolerance (1e-9), the same equivalence
+class every other parity suite in this repo pins.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import IUAD, IUADConfig, ShardedIUAD, StreamingIngestor
+from repro.core.candidates import cannot_link_pairs
+from repro.data import Corpus, build_testing_dataset
+from repro.data.testing import split_for_incremental
+from repro.io import Snapshot
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+WORKER = Path(__file__).with_name("_snapshot_worker.py")
+
+BACKENDS = ("jsonl", "sqlite")
+
+
+# --------------------------------------------------------------------- #
+# fixtures: one fitted world per estimator kind, one held-out burst
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def world(small_corpus):
+    dataset = build_testing_dataset(small_corpus, n_names=10)
+    _base_pids, new_pids = split_for_incremental(dataset, 16)
+    new_set = set(new_pids)
+    base = Corpus(p for p in small_corpus if p.pid not in new_set)
+    burst = [small_corpus[pid] for pid in new_pids]
+    return base, burst, dataset.names
+
+
+@pytest.fixture(scope="module")
+def fitted_iuad(world):
+    base, _burst, names = world
+    return IUAD(IUADConfig()).fit(base, names=names)
+
+
+@pytest.fixture(scope="module")
+def fitted_sharded(world):
+    base, _burst, names = world
+    return ShardedIUAD(IUADConfig(max_shard_size=300)).fit(base, names=names)
+
+
+# --------------------------------------------------------------------- #
+# comparison helpers
+# --------------------------------------------------------------------- #
+def exact_state(net):
+    """Vertex rows + name index + next_vid exactly; edges as a set.
+
+    Vertex insertion order and name-index order are part of the resume
+    contract (candidate enumeration walks them); adjacency-dict order is
+    not — every consumer reads edges as sets — so edges compare sorted.
+    """
+    vertices, edges, name_index, next_vid = net.export_parts()
+    return vertices, sorted(edges), name_index, next_vid
+
+
+def counter_state(report):
+    return (
+        report.n_papers,
+        report.n_mentions,
+        report.n_attached,
+        report.n_created,
+        report.n_duplicates,
+        dict(report.per_shard_papers),
+    )
+
+
+def assert_assignments_match(got, expected):
+    """``got`` is the worker's JSON; ``expected`` live Assignment lists."""
+    assert len(got) == len(expected)
+    for got_batch, exp_batch in zip(got, expected):
+        assert [(n, p, v, c) for n, p, v, c, _s in got_batch] == [
+            (a.name, a.position, a.vid, a.created) for a in exp_batch
+        ]
+        for (_n, _p, _v, _c, score), assignment in zip(got_batch, exp_batch):
+            if math.isnan(assignment.score):
+                assert math.isnan(score)
+            elif math.isinf(assignment.score):
+                assert score == assignment.score
+            else:
+                assert abs(score - assignment.score) <= 1e-9
+
+
+def run_resumed_in_subprocess(snapshot_path, papers, mode, tmp_path):
+    """Continue a checkpoint in a fresh interpreter; return its outputs."""
+    papers_file = tmp_path / "burst.jsonl"
+    papers_file.write_text(
+        "".join(p.to_json() + "\n" for p in papers), encoding="utf-8"
+    )
+    snapshot_out = tmp_path / ("final" + snapshot_path.suffix)
+    assignments_out = tmp_path / "assignments.json"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(WORKER),
+            str(snapshot_path),
+            str(papers_file),
+            mode,
+            str(snapshot_out),
+            str(assignments_out),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONHASHSEED": "0"},
+    )
+    assert result.returncode == 0, result.stderr
+    final = Snapshot.load(snapshot_out)
+    assignments = json.loads(assignments_out.read_text(encoding="utf-8"))
+    return final, assignments
+
+
+def assert_resume_parity(fitted, burst, backend, tmp_path, mode="batch"):
+    cut = len(burst) // 2
+
+    # The uninterrupted reference: one process, no snapshot boundary.
+    # ``expected_tail`` is one assignment list per worker "batch": the
+    # whole burst for batch mode, one list per paper for the scalar loop.
+    reference = copy.deepcopy(fitted)
+    reference_stream = StreamingIngestor(reference)
+    if mode == "batch":
+        reference_stream.add_papers(burst[:cut])
+        expected_tail = reference_stream.add_papers(burst[cut:])
+    else:
+        for paper in burst[:cut]:
+            reference_stream.add_paper(paper)
+        expected_tail = [
+            reference_stream.add_paper(paper) for paper in burst[cut:]
+        ]
+
+    # The interrupted run: ingest half, checkpoint, continue elsewhere.
+    interrupted = copy.deepcopy(fitted)
+    stream = StreamingIngestor(interrupted)
+    if mode == "batch":
+        stream.add_papers(burst[:cut])
+    else:
+        for paper in burst[:cut]:
+            stream.add_paper(paper)
+    suffix = ".sqlite" if backend == "sqlite" else ".jsonl"
+    checkpoint = tmp_path / f"checkpoint{suffix}"
+    stream.checkpoint(checkpoint, backend=backend)
+
+    final, assignments = run_resumed_in_subprocess(
+        checkpoint, burst[cut:], mode, tmp_path
+    )
+
+    assert_assignments_match(assignments, expected_tail)
+
+    # Structural parity: bit-exact ids, payloads, watermark, name order.
+    assert exact_state(final.gcn) == exact_state(reference.gcn_)
+    assert final.model.state_dict() == reference.model_.state_dict()
+    assert sorted(cannot_link_pairs(final.gcn)) == sorted(
+        cannot_link_pairs(reference.gcn_)
+    )
+    assert final.stream is not None
+    assert counter_state(final.stream) == counter_state(
+        reference_stream.report
+    )
+    return final, reference, reference_stream
+
+
+# --------------------------------------------------------------------- #
+# the acceptance matrix
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_iuad_resume_parity(fitted_iuad, world, backend, tmp_path):
+    _base, burst, _names = world
+    assert_resume_parity(fitted_iuad, burst, backend, tmp_path)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_resume_parity(fitted_sharded, world, backend, tmp_path):
+    _base, burst, _names = world
+    final, reference, _stream = assert_resume_parity(
+        fitted_sharded, burst, backend, tmp_path
+    )
+    # The shard-routing state must survive the boundary too: same name
+    # ownership, same bridge count, same canonical resolution.
+    assert final.sharding is not None
+    live = reference.shard_index_
+    restored = final.sharding.index
+    assert restored._name_to_shard == live._name_to_shard
+    assert restored.n_bridges == live.n_bridges
+    assert restored.n_shards == live.n_shards
+    for name in live._name_to_shard:
+        assert restored.shard_of_name(name) == live.shard_of_name(name)
+
+
+def test_scalar_loop_resume_parity(fitted_iuad, world, tmp_path):
+    """The per-paper ``add_paper`` path obeys the same contract."""
+    _base, burst, _names = world
+    assert_resume_parity(fitted_iuad, burst, "jsonl", tmp_path, mode="scalar")
+
+
+def test_double_resume_is_stable(fitted_iuad, world, tmp_path):
+    """save → load → save round-trips to an identical document."""
+    _base, burst, _names = world
+    estimator = copy.deepcopy(fitted_iuad)
+    StreamingIngestor(estimator).add_papers(burst[:4])
+    first = tmp_path / "first.jsonl"
+    estimator.save(first)
+    second = tmp_path / "second.jsonl"
+    IUAD.load(first).save(second)
+    assert first.read_text(encoding="utf-8") == second.read_text(
+        encoding="utf-8"
+    )

@@ -203,6 +203,58 @@ class TestDuplicatesInBatch:
         assert all(np.isnan(a.score) for a in replay)
 
 
+class TestDuplicatesAcrossRestart:
+    """``duplicate_paper_policy="return"`` must replay identically when
+    the duplicate arrives *after* a checkpoint restore — the owners are
+    then reconstructed from deserialized mention payloads, not from any
+    in-memory state of the process that ingested the paper."""
+
+    @pytest.fixture()
+    def fitted_return_policy(self, small_corpus):
+        td = build_testing_dataset(small_corpus, n_names=8)
+        _base, new_pids = split_for_incremental(td, 20)
+        new_set = set(new_pids)
+        base = Corpus(p for p in small_corpus if p.pid not in new_set)
+        iuad = IUAD(
+            IUADConfig(duplicate_paper_policy="return")
+        ).fit(base, names=td.names)
+        return iuad, [small_corpus[pid] for pid in new_pids]
+
+    def test_duplicate_replay_survives_restart(
+        self, fitted_return_policy, tmp_path
+    ):
+        from repro.core import StreamingIngestor as Ingestor
+
+        fitted, burst = fitted_return_policy
+        # live reference: ingest, then replay a duplicate (no restart)
+        live = Ingestor(copy.deepcopy(fitted))
+        live.add_papers(burst)
+        expected = live.add_papers([burst[0]])[0]
+        assert all(np.isnan(a.score) for a in expected)
+
+        # restart path: ingest, checkpoint, resume from disk, replay
+        saver = Ingestor(copy.deepcopy(fitted), checkpoint_path=tmp_path / "ck.jsonl")
+        saver.add_papers(burst)
+        saver.checkpoint()
+        resumed = Ingestor.resume(tmp_path / "ck.jsonl")
+        replay = resumed.add_papers([burst[0]])[0]
+        assert [(a.name, a.position, a.vid, a.created) for a in replay] == [
+            (a.name, a.position, a.vid, a.created) for a in expected
+        ]
+        assert all(np.isnan(a.score) for a in replay)
+        assert resumed.report.n_duplicates == live.report.n_duplicates == 1
+        # the scalar path agrees after the restore too
+        scalar = resumed.add_paper(burst[1])
+        assert [(a.name, a.position, a.vid, a.created) for a in scalar] == [
+            (a.name, a.position, a.vid, a.created)
+            for a in live.add_paper(burst[1])
+        ]
+        # nothing was mutated by either replay
+        assert network_state(resumed.iuad.gcn_) == network_state(
+            live.iuad.gcn_
+        )
+
+
 class TestShardedStreamingParity:
     def test_cross_shard_bridging_burst(self, small_corpus):
         """Sharded fit: bursts route, bridge and stay in parity."""

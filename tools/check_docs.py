@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Docs checks: intra-repo markdown links + doctest examples.
+"""Docs checks: intra-repo markdown links, file references + doctests.
 
 Run from anywhere:  python tools/check_docs.py
 
-Two checks, both CI-gating (see the ``docs`` job in
+Three checks, all CI-gating (see the ``docs`` job in
 ``.github/workflows/ci.yml`` and ``tests/test_docs.py`` which runs the
 same code in the tier-1 suite):
 
 1. every relative link target in the repo's markdown files must exist
    (``http(s)://``, ``mailto:`` and pure-anchor links are skipped);
-2. the doctest examples listed in :data:`DOCTEST_FILES` must pass — most
+2. every inline-code span that *names a repo file* (``foo/bar.py``,
+   ``BENCH_x.json``) must reference a file that actually exists — the
+   drift class this catches is docs describing an artifact as tracked
+   when nothing produces or commits it (``BENCH_sharding.json`` was
+   exactly that before PR 5).  Quick-mode bench records
+   (``*.quick.json``) are exempt — they are *documented* as untracked
+   local smoke outputs — as are the names in
+   :data:`KNOWN_FUTURE_ARTIFACTS`;
+3. the doctest examples listed in :data:`DOCTEST_FILES` must pass — most
    importantly the homonym-paper example in ``examples/quickstart.py``.
 """
 
@@ -50,6 +58,43 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: Schemes (and pseudo-targets) that are not filesystem paths.
 _EXTERNAL = re.compile(r"^(https?:|mailto:|#)")
 
+#: Markdown files excluded from the *file-reference* check only: they
+#: quote external repositories or driver-owned task text whose code spans
+#: are not repo paths.  The link check still scans them.
+REFERENCE_SKIP_FILES = {
+    "PAPER.md",
+    "PAPERS.md",
+    "SNIPPETS.md",
+    "ISSUE.md",
+    "CHANGES.md",
+}
+
+#: Inline-code span (single backticks, one line).
+_CODE_SPAN = re.compile(r"`([^`\n]+)`")
+
+#: A span that *looks like* a repo file: path-safe characters ending in a
+#: suffix this repo uses for real files.  Module dotted paths
+#: (``repro.core.iuad``) don't match; bare filenames do and are resolved
+#: by basename against the whole tree (``snapshot.py`` may live anywhere).
+_FILE_REF = re.compile(
+    r"^[A-Za-z0-9_.][A-Za-z0-9_.\-/]*\.(?:py|md|json|ya?ml|toml|cfg|ini|txt)$"
+)
+
+#: Quick-mode bench records are documented as machine-local smoke
+#: artifacts; whether a given one is committed is each bench's call, so
+#: their references are always legal.
+_UNTRACKED_OK = re.compile(r"\.quick\.json$")
+
+#: Artifacts the docs may name although no checkout contains them yet.
+#: Every entry needs a justification — the whole point of the reference
+#: check is that this list stays short and deliberate.
+KNOWN_FUTURE_ARTIFACTS = {
+    # Written (and committed) only by full-mode benchmark runs on >=4-core
+    # machines; the README documents it as the upgrade path over the
+    # committed BENCH_sharding.quick.json record.
+    "BENCH_sharding.json",
+}
+
 
 def iter_markdown_files() -> list[Path]:
     out = []
@@ -78,6 +123,50 @@ def check_markdown_links() -> list[str]:
     return errors
 
 
+def iter_repo_files() -> list[Path]:
+    out = []
+    for path in REPO_ROOT.rglob("*"):
+        if path.is_file() and not SKIP_DIRS.intersection(
+            p.name for p in path.parents
+        ):
+            out.append(path)
+    return out
+
+
+def check_file_references() -> list[str]:
+    """Return one error per inline-code reference to a nonexistent file.
+
+    Spans containing a ``/`` resolve against the repo root and the
+    markdown file's own directory; bare filenames resolve by basename
+    anywhere in the tree.  See :data:`KNOWN_FUTURE_ARTIFACTS` and
+    ``*.quick.json`` for the two deliberate exemptions.
+    """
+    basenames = {p.name for p in iter_repo_files()}
+    errors: list[str] = []
+    for md in iter_markdown_files():
+        if md.name in REFERENCE_SKIP_FILES:
+            continue
+        text = md.read_text(encoding="utf-8")
+        for match in _CODE_SPAN.finditer(text):
+            target = match.group(1)
+            if not _FILE_REF.match(target):
+                continue
+            if _UNTRACKED_OK.search(target) or target in KNOWN_FUTURE_ARTIFACTS:
+                continue
+            if "/" in target:
+                exists = (REPO_ROOT / target).exists() or (
+                    md.parent / target
+                ).exists()
+            else:
+                exists = target in basenames
+            if not exists:
+                rel = md.relative_to(REPO_ROOT)
+                errors.append(
+                    f"{rel}: reference to nonexistent repo file -> {target}"
+                )
+    return errors
+
+
 def run_doctests() -> list[str]:
     """Return one error string per failing doctest file."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -101,7 +190,7 @@ def run_doctests() -> list[str]:
 
 
 def main() -> int:
-    errors = check_markdown_links() + run_doctests()
+    errors = check_markdown_links() + check_file_references() + run_doctests()
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if not errors:

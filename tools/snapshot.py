@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Snapshot toolbox: inspect, convert and verify durable IUAD snapshots.
+
+Run from the repo root (or anywhere with ``repro`` importable)::
+
+    python tools/snapshot.py inspect  fitted.jsonl
+    python tools/snapshot.py convert  fitted.jsonl fitted.sqlite
+    python tools/snapshot.py verify   fitted.sqlite
+
+* ``inspect`` — header, counts and stream counters, without fully
+  materialising the fitted objects (reads the document only);
+* ``convert`` — re-write a snapshot in the other backend (the payload is
+  backend-neutral, so conversion is lossless in both directions);
+* ``verify`` — fully decode the snapshot and run the structural
+  invariant sweep (:func:`repro.io.verify_snapshot`): unique mention
+  ownership, mention/corpus consistency, the ``next_vid`` watermark,
+  edge sanity, shard-index coverage.  Exit code 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.io import (  # noqa: E402 (path setup above)
+    Snapshot,
+    read_document,
+    resolve_backend,
+    verify_snapshot,
+    write_document,
+)
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    backend = resolve_backend(path)
+    document = read_document(path)
+    meta = document["meta"]
+    if meta.get("format") != "repro-snapshot":
+        print(
+            f"inspect: {path} is not a repro snapshot "
+            f"(meta.format={meta.get('format')!r})",
+            file=sys.stderr,
+        )
+        return 1
+    sections = document["sections"]
+    tables = document["tables"]
+    print(f"snapshot   {path} ({backend.name}, {path.stat().st_size} bytes)")
+    print(f"format     {meta.get('format')} v{meta.get('version')}")
+    print(f"kind       {meta.get('kind')}")
+    print(f"papers     {len(tables.get('papers', []))}")
+    print(
+        f"gcn        {len(tables.get('gcn_vertices', []))} vertices / "
+        f"{len(tables.get('gcn_edges', []))} edges "
+        f"(next_vid {sections['gcn_meta']['next_vid']})"
+    )
+    if "scn_meta" in sections:
+        print(
+            f"scn        {len(tables.get('scn_vertices', []))} vertices / "
+            f"{len(tables.get('scn_edges', []))} edges"
+        )
+    model = sections.get("model", {})
+    print(
+        f"model      prior_match={model.get('prior_match'):.6f} "
+        f"families={','.join(model.get('families', []))}"
+    )
+    rows = tables.get("embedding_rows")
+    print(
+        "embeddings "
+        + (f"{len(rows)} words" if rows else "none (keyword-cosine fallback)")
+    )
+    if "sharding" in sections:
+        sharding = sections["sharding"]
+        plan = sharding.get("plan")
+        print(
+            "sharding   "
+            + (f"{len(plan['shards'])} shards, " if plan else "")
+            + f"{len(sharding['index']['name_to_shard'])} routed names, "
+            f"{sharding['index']['n_bridges']} bridges, "
+            f"{len(sharding['cannot_links'])} cannot-links"
+        )
+    if "stream" in sections:
+        stream = sections["stream"]
+        print(
+            f"stream     {stream['n_papers']} papers / "
+            f"{stream['n_mentions']} mentions ingested "
+            f"({stream['n_attached']} attached, {stream['n_created']} "
+            f"created, {stream['n_duplicates']} duplicates)"
+        )
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    src, dst = Path(args.src), Path(args.dst)
+    if src.resolve() == dst.resolve():
+        print("convert: source and destination are the same file",
+              file=sys.stderr)
+        return 1
+    document = read_document(src)
+    write_document(document, dst, backend=args.backend)
+    print(
+        f"convert: {src} ({resolve_backend(src).name}) -> "
+        f"{dst} ({resolve_backend(dst).name})"
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    snapshot = Snapshot.load(args.path)
+    errors = verify_snapshot(snapshot)
+    for error in errors:
+        print(f"verify: {error}", file=sys.stderr)
+    if errors:
+        print(f"verify: FAILED ({len(errors)} violations)", file=sys.stderr)
+        return 1
+    print(
+        f"verify: OK — {len(snapshot.corpus)} papers, "
+        f"{len(snapshot.gcn)} GCN vertices, "
+        f"{snapshot.gcn.n_mentions} mentions, schema v{snapshot.version}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="snapshot.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser("inspect", help="print header and counts")
+    p_inspect.add_argument("path")
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_convert = sub.add_parser("convert", help="re-write in another backend")
+    p_convert.add_argument("src")
+    p_convert.add_argument("dst")
+    p_convert.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default=None,
+        help="force the destination backend (default: by suffix)",
+    )
+    p_convert.set_defaults(func=cmd_convert)
+
+    p_verify = sub.add_parser("verify", help="decode fully + invariant sweep")
+    p_verify.add_argument("path")
+    p_verify.set_defaults(func=cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
