@@ -6,26 +6,34 @@ Shape facts: IUAD beats the baseline *average* at full scale, GHOST and
 ANON cost grows with scale, everyone's time grows with the corpus.
 
 The sharded variant compares a single-process ``IUAD.fit`` on the bench's
-largest synthetic corpus against ``ShardedIUAD.fit`` with four workers,
-pins shard-vs-global parity, and records both wall-clocks plus the
-per-shard counters to ``BENCH_sharding.json`` at the repo root.  The ≥2×
-speedup floor is asserted only where it is physically meaningful: full
-mode on a machine with at least four CPU cores (the parallel region is
-the γ/profile work, ~70 % of a fit).  On fewer cores — or in
-``BENCH_QUICK=1`` smoke mode — the run still records the measured numbers
-and enforces parity plus a bounded-overhead sanity ceiling.
+largest synthetic corpus against ``ShardedIUAD.fit`` with
+``BENCH_SHARD_WORKERS`` workers (default 4), pins shard-vs-global parity,
+and records both wall-clocks plus the per-shard and pipeline counters to
+``BENCH_sharding.json`` at the repo root.  Each fit runs in its own
+interpreter process (``_shard_bench_driver.py``) so the pool's fork
+never inherits the pytest process's accumulated heap — inline
+measurement made the "sharded" wall a function of which tests ran
+first (copy-on-write faults on inherited pages), not of the executor.  The ≥2× speedup floor is
+asserted only where it is physically meaningful: full mode on a machine
+with at least ``N_WORKERS`` CPU cores (the parallel region is the
+γ/profile work, ~70 % of a fit).  Quick runs (``BENCH_QUICK=1`` smoke
+mode, or any under-provisioned box) record to
+``BENCH_sharding.quick.json`` with an honest ``quick: true`` stamp and
+enforce parity plus either a ≥0.9× no-regression floor (≥2 cores and ≥2
+workers — the CI smoke job) or a bounded-overhead ceiling (1 core).
 """
 
+import json
 import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.core import IUAD, IUADConfig, ShardedIUAD
-from repro.data.synthetic import SyntheticConfig, SyntheticDBLP
 from repro.eval.experiments import run_table5
 from repro.eval.reporting import render_table5
-from repro.eval.timing import StageTimer, shard_summary, write_benchmark_json
+from repro.eval.timing import write_benchmark_json
 
 
 @pytest.fixture(scope="module")
@@ -71,97 +79,106 @@ def test_iuad_is_competitive(benchmark, table5):
 # --------------------------------------------------------------------- #
 # sharded execution: wall-clock vs single-process fit
 # --------------------------------------------------------------------- #
-QUICK = os.environ.get("BENCH_QUICK", "") == "1"
-N_WORKERS = 4
+QUICK_ENV = os.environ.get("BENCH_QUICK", "") == "1"
+N_WORKERS = int(os.environ.get("BENCH_SHARD_WORKERS", "4"))
 MIN_SPEEDUP = 2.0
+QUICK_MIN_SPEEDUP = 0.9
 CPU_COUNT = os.cpu_count() or 1
 # The tracked record exists to evidence the ≥2× claim, so only machines
-# able to honestly measure it (full mode, ≥ N_WORKERS cores) write it;
-# smoke runs and under-provisioned boxes record to the untracked quick
-# file instead of committing a number that contradicts the claim.
-SHARD_OUT_PATH = Path(__file__).resolve().parents[1] / (
-    "BENCH_sharding.json"
-    if not QUICK and CPU_COUNT >= N_WORKERS
-    else "BENCH_sharding.quick.json"
+# able to honestly measure it (full mode, ≥ N_WORKERS cores) run in full
+# mode; smoke runs and under-provisioned boxes are *quick* runs and
+# record to the untracked quick file instead of committing a number that
+# contradicts the claim.  ``RECORD_QUICK`` is the actual run mode — it is
+# what gets stamped into the record, and ``write_benchmark_json`` refuses
+# a record whose stamp disagrees with its path, so the provenance drift
+# that once put ``"quick": false`` into ``BENCH_sharding.quick.json``
+# now fails loudly instead of committing.
+RECORD_QUICK = QUICK_ENV or CPU_COUNT < N_WORKERS
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SHARD_OUT_PATH = REPO_ROOT / (
+    "BENCH_sharding.quick.json" if RECORD_QUICK else "BENCH_sharding.json"
 )
+DRIVER = Path(__file__).with_name("_shard_bench_driver.py")
 
 
-def _largest_bench_corpus():
-    """The largest corpus of the scalability sweep.
-
-    Like the similarity bench, the name pool is concentrated so candidate
-    blocks are big and pair scoring (the shardable work) dominates the
-    fit — the regime sharding exists for.  Quick mode shrinks the world
-    for CI smoke runs.
-    """
-    if QUICK:
-        cfg = SyntheticConfig(
-            n_authors=900, n_papers=2000, name_pool_size=300,
-            n_communities=70, seed=7,
-        )
-    else:
-        cfg = SyntheticConfig(
-            n_authors=3500, n_papers=8000, name_pool_size=420, seed=7,
-        )
-    return SyntheticDBLP(cfg).generate()
-
-
-def _clusterings(est, names):
-    return {
-        n: sorted(
-            sorted(units)
-            for units in est.mention_clusters_of_name(n).values()
-        )
-        for n in names
-    }
+def _run_driver(mode, *extra):
+    """One fit in a fresh interpreter (see the driver's docstring: inline
+    pool measurement is biased by whatever heap the preceding tests left
+    behind to be copy-on-write-inherited at fork)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(DRIVER), mode, *extra],
+        capture_output=True, text=True, timeout=1800, env=env,
+    )
+    assert proc.returncode == 0, f"{mode} driver failed:\n{proc.stderr[-2000:]}"
+    return json.loads(proc.stdout)
 
 
 def test_sharded_fit_speedup(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    timer = StageTimer()
-    with timer.stage("corpus"):
-        corpus = _largest_bench_corpus()
-
-    with timer.stage("fit_single_process"):
-        single = IUAD(IUADConfig()).fit(corpus)
-    with timer.stage("fit_sharded_4_workers"):
-        sharded = ShardedIUAD(IUADConfig(n_workers=N_WORKERS)).fit(corpus)
+    quick_flag = ("--quick",) if QUICK_ENV else ()
+    single = _run_driver("single", *quick_flag)
+    sharded = _run_driver(
+        "sharded", "--workers", str(N_WORKERS), *quick_flag
+    )
 
     # Parity gates the speedup claim: identical mention clusterings.
     # (Serial-vs-pool parity is pinned separately by
     # tests/test_sharding_parity.py.)
-    names = corpus.names
-    assert _clusterings(sharded, names) == _clusterings(single, names)
+    assert sharded["clusterings"] == single["clusterings"]
 
-    stages = timer.as_dict()
-    speedup = stages["fit_single_process"] / stages["fit_sharded_4_workers"]
+    stages = {
+        "corpus": single["corpus_seconds"],
+        "fit_single_process": single["fit_seconds"],
+        f"fit_sharded_{N_WORKERS}_workers": sharded["fit_seconds"],
+    }
+    sharded_wall = sharded["fit_seconds"]
+    speedup = single["fit_seconds"] / sharded_wall
     payload = write_benchmark_json(
         SHARD_OUT_PATH,
         "sharded_fit",
         stages,
-        quick=QUICK,
+        quick=RECORD_QUICK,
+        quick_env=QUICK_ENV,
         n_workers=N_WORKERS,
         cpu_count=CPU_COUNT,
-        n_papers=len(corpus),
+        n_papers=sharded["n_papers"],
         speedup_vs_single=round(speedup, 3),
         parity="identical mention clusterings (single vs sharded pool)",
-        shards=shard_summary(sharded.report_),
+        shards=sharded["shards"],
     )
     assert payload["shards"]["n_shards"] >= 1
 
-    if not QUICK and CPU_COUNT >= N_WORKERS:
+    if not RECORD_QUICK:
         # The honest claim: ≥2× wall-clock over the single-process fit on
-        # the largest bench corpus with four real cores under them.
+        # the largest bench corpus with enough real cores under it.
         assert speedup >= MIN_SPEEDUP, (
             f"sharded fit speedup {speedup:.2f}x below the "
-            f"{MIN_SPEEDUP}x floor on {cpu_count} cores"
+            f"{MIN_SPEEDUP}x floor on {CPU_COUNT} cores"
+        )
+    elif CPU_COUNT >= 2 and N_WORKERS >= 2:
+        # Quick mode with real parallelism available (the CI smoke job:
+        # 2 workers on a multi-core runner).  The pool must at least not
+        # *lose* to the single-process fit — the 0.36×-class slowdown
+        # this floor exists for fails here instead of living only in an
+        # unreviewed JSON record.
+        assert speedup >= QUICK_MIN_SPEEDUP, (
+            f"sharded fit speedup {speedup:.2f}x below the quick-mode "
+            f"{QUICK_MIN_SPEEDUP}x no-regression floor "
+            f"({N_WORKERS} workers, {CPU_COUNT} cores)"
         )
     else:
-        # Not enough cores (or smoke mode) for parallel wall-clock wins —
-        # four workers time-slicing one core can only lose, which is why
-        # such runs record to the untracked quick file.  Sharding must
-        # still stay within bounded overhead of the single-process fit:
-        # it repartitions, forks, pickles results and stitches.
-        assert stages["fit_sharded_4_workers"] <= 6.0 * max(
+        # One core: workers can only time-slice it, so wall-clock wins
+        # are physically impossible and only bounded overhead is
+        # asserted — the pipelined executor's fork/IPC tax on top of the
+        # serial work, which shared-memory transport keeps small.
+        # Isolated-subprocess ratios observed on a noisy 1-core VM span
+        # ~1.1–3.4×; the 6× ceiling rides above that scheduler noise
+        # while still failing loudly on the ~11× copy-on-write fault
+        # storm this bound exists for.
+        assert sharded_wall <= 6.0 * max(
             stages["fit_single_process"], 0.05
         ), "sharded fit overhead exploded"

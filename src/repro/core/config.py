@@ -73,6 +73,20 @@ class IUADConfig:
             influence each other within a round); with more rounds it
             can miss cross-shard profile updates between rounds — keep
             blocks whole (``0``) when that matters.
+        gamma_chunk_pairs: Candidate pairs per Phase-A γ task of a
+            sharded fit.  Chunks tile the global pair order with whole
+            names and are independent of both shard and worker count —
+            a fat shard never serialises the phase, and serial/pool runs
+            fill byte-identical result buffers.  Also the chunk size of
+            the split-balance scoring tasks.
+        mp_start_method: Start method of the sharded fit's process pool
+            (``"fork"``, ``"spawn"`` or ``"forkserver"``).  ``None``
+            (default) picks ``"fork"`` where the platform offers it —
+            workers then inherit the SCN/corpus copy-on-write — and
+            ``"spawn"`` elsewhere.  Pinned explicitly via
+            ``multiprocessing.get_context`` so a host application
+            changing the *global* start method cannot silently flip the
+            shipping path.
         duplicate_paper_policy: What the incremental path does when a
             streamed paper's pid is already in the fitted corpus.
             ``"raise"`` (default) rejects the re-ingest with a
@@ -118,6 +132,8 @@ class IUADConfig:
     seed: int = 29
     n_workers: int = 0
     max_shard_size: int = 4000
+    gamma_chunk_pairs: int = 2048
+    mp_start_method: str | None = None
     duplicate_paper_policy: str = "raise"
     incremental_timing_window: int = 4096
     checkpoint_every_n_papers: int = 0
@@ -145,6 +161,15 @@ class IUADConfig:
         if self.max_shard_size < 0:
             raise ValueError(
                 f"max_shard_size must be >= 0, got {self.max_shard_size}"
+            )
+        if self.gamma_chunk_pairs < 1:
+            raise ValueError(
+                f"gamma_chunk_pairs must be >= 1, got {self.gamma_chunk_pairs}"
+            )
+        if self.mp_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "mp_start_method must be None, 'fork', 'spawn' or "
+                f"'forkserver', got {self.mp_start_method!r}"
             )
         if not 0.0 < self.sample_rate <= 1.0:
             raise ValueError(

@@ -228,6 +228,19 @@ class FitReport:
     ``partition_seconds`` / ``stitch_seconds`` time the orchestration
     around the parallel region.  Single-process fits leave them at their
     zero defaults.
+
+    The pipeline block describes the sharded executor's overlapped
+    schedule: ``pipeline_seconds`` spans first task submission to last
+    decision result; ``gamma_wall_seconds`` / ``split_wall_seconds`` /
+    ``decide_wall_seconds`` are parent-observed phase walls (on a pool
+    they overlap each other and ``em_seconds`` — that is the point);
+    ``overlap_seconds`` is the wall-clock saved versus running
+    γ → EM → decisions as sequential barriers, with
+    ``overlap_gamma_chunks`` counting the γ chunks that completed under
+    the EM midsection or later.  ``*_task_seconds`` are worker-summed
+    compute, ``ipc_task_bytes`` the pickled bytes of every submitted
+    task (pool runs only) and ``shm_bytes`` the shared-memory result
+    transport replacing what used to round-trip through pickle.
     """
 
     scn: SCNBuildReport
@@ -249,6 +262,19 @@ class FitReport:
     partition_seconds: float = 0.0
     stitch_seconds: float = 0.0
     shard_stats: list = field(default_factory=list)
+    em_seconds: float = 0.0
+    pipeline_seconds: float = 0.0
+    gamma_wall_seconds: float = 0.0
+    split_wall_seconds: float = 0.0
+    decide_wall_seconds: float = 0.0
+    overlap_seconds: float = 0.0
+    gamma_task_seconds: float = 0.0
+    split_task_seconds: float = 0.0
+    decide_task_seconds: float = 0.0
+    n_gamma_chunks: int = 0
+    overlap_gamma_chunks: int = 0
+    ipc_task_bytes: int = 0
+    shm_bytes: int = 0
 
 
 class IUAD:

@@ -24,22 +24,39 @@ Execution plan of :class:`ShardedIUAD.fit` (serial or process-pool):
    the final network — no Stage-2 work at all.
 3. **Phase A — parallel γ computation**: workers receive the SCN, the
    corpus and the global frequency tables *once per process* (pool
-   initializer, see :class:`_WorkerContext`); each task then carries only
-   its shard's name list.  Profiles are computed on the full network —
-   exactly what the single-process fit does, so γ values are
-   bit-compatible by construction.  Split-balance matched pairs (the
-   densest profile work of model learning) are chunked into the same pool.
-4. **Global model** (serial): the training sample is drawn from the
-   *reassembled global candidate order* (identical to the single-process
-   sample) and its γ rows are sliced from the Phase-A results; the
-   matched/unmatched mixture is then fitted exactly as in ``IUAD``.
-5. **Phase B — parallel decisions**: each worker cuts its block (plus a
-   radius-``max(1, wl_iterations)`` profile halo, needed only when
-   ``merge_rounds > 1`` re-scores) out of its process-local SCN, runs the
-   shared :func:`~repro.core.iuad.run_merge_rounds` decision loop with
-   the precomputed round-one scores, merges its components under the
-   cannot-link constraints, drops the halo and ships back its fitted
-   block network.
+   initializer, see :class:`_WorkerContext`).  The candidate pairs of
+   every pair-bearing name are laid out in one global
+   ``(n_pairs, 6)`` result buffer in canonical ``scn.names`` order and
+   chunked by **candidate-pair count** (``config.gamma_chunk_pairs``,
+   independent of both shard and worker count, so a fat shard never
+   serialises the phase and serial/pool runs fill byte-identical
+   buffers); each worker writes its chunk's rows straight into a
+   :mod:`multiprocessing.shared_memory` block instead of pickling γ
+   matrices back.  Split-balance matched pairs (the densest profile
+   work of model learning) are scored **in the parent** while the pool
+   crunches γ chunks: their profile build allocates so much transient
+   memory that running it in a freshly forked (or spawned) worker
+   degenerates into a copy-on-write page-fault storm — see
+   :func:`_score_split_chunk`.
+4. **Global model** (serial, *overlapped*): the training sample is drawn
+   from the global candidate order (identical to the single-process
+   sample) and its γ rows are sliced from the shared buffer.  The EM
+   midsection starts as soon as the sampled rows and split scores are in
+   hand — γ chunks that carry no sampled row keep computing in the pool
+   *while* the mixture trains, so the midsection is no longer a barrier.
+5. **Phase B — parallel decisions, pipelined**: the fitted model is
+   broadcast once through a shared-memory blob (workers deserialise and
+   cache it process-locally); each shard's decision task is dispatched
+   the moment its γ rows are complete — shards whose chunks finished
+   before the model simply go first.  Tasks carry only name lists, vid
+   tuples and ``(offset, count)`` row spans; the worker re-reads its γ
+   rows from shared memory, scores them against the cached model, cuts
+   its block (plus a radius-``max(1, wl_iterations)`` profile halo,
+   needed only when ``merge_rounds > 1`` re-scores) out of its
+   process-local SCN, runs the shared
+   :func:`~repro.core.iuad.run_merge_rounds` decision loop, merges its
+   components under the cannot-link constraints, drops the halo and
+   ships back its fitted block network.
 6. **Merge** (serial, deterministic): per-shard networks and the
    fast-path vertices are stitched by
    :func:`repro.graphs.collab.combine_networks` — stable remapped vertex
@@ -47,6 +64,15 @@ Execution plan of :class:`ShardedIUAD.fit` (serial or process-pool):
    uniqueness check on mention ownership — then the non-stable
    collaborative relations are recovered globally and the cannot-link
    constraints are re-derived on the stitched network.
+
+Results are keyed by chunk/shard index and assembled in plan order, so
+pool scheduling never changes an outcome, only the timeline.  The
+per-phase walls, the overlap they bought, and the IPC/shared-memory
+byte counts are recorded on the :class:`~repro.core.iuad.FitReport`
+(``pipeline_seconds``, ``overlap_seconds``, ``ipc_task_bytes``, …) and
+flattened into benchmark records by
+:func:`repro.eval.timing.shard_summary` — a transport regression shows
+up in the committed record, not in a reviewer's profiler.
 
 Exactness: with ``merge_rounds == 1`` (the paper's Algorithm 1) the
 sharded fit produces mention clusterings *identical* to the whole-corpus
@@ -66,11 +92,15 @@ so clusterings are unaffected.
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from bisect import bisect_right
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from multiprocessing import shared_memory
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -382,27 +412,104 @@ def plan_shards(
 
 
 # --------------------------------------------------------------------- #
+# shared-memory transport
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class _ArrayRef:
+    """Reference to a ``(rows, 6)`` float64 result buffer workers fill.
+
+    Pool runs back the buffer with a :mod:`multiprocessing.shared_memory`
+    segment (``shm_name``): γ chunks are *written in place* by workers
+    and never round-trip through pickle.  The serial in-process path
+    (and the zero-row degenerate case) holds a plain array directly in
+    ``array`` instead of allocating an OS segment.  (The split-balance
+    buffer is always a plain parent-side array — see
+    :func:`_score_split_chunk`.)
+    """
+
+    rows: int
+    shm_name: str | None = None
+    array: np.ndarray | None = None
+
+
+@dataclass(slots=True)
+class _ModelRef:
+    """Broadcast handle of the fitted mixture for Phase-B workers.
+
+    Pool runs pickle the model *once* into a shared-memory blob; every
+    worker deserialises it on first use and caches it process-locally
+    (:data:`_MODEL_CACHE`), so each decision task carries a tiny segment
+    name instead of its own model copy.  The serial path carries the
+    live object in ``model``.
+    """
+
+    shm_name: str | None = None
+    nbytes: int = 0
+    model: MatchMixture | None = None
+
+
+#: Process-local attached shared-memory views, keyed by segment name.
+#: Workers attach each segment once and keep the mapping for the pool's
+#: lifetime; the parent closes and unlinks after the pool is joined.
+_SHM_VIEWS: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+#: Process-local deserialised model broadcasts, keyed by segment name.
+_MODEL_CACHE: dict[str, MatchMixture] = {}
+
+
+def _view_of(ref: _ArrayRef) -> np.ndarray:
+    """The live ``(rows, 6)`` ndarray behind ``ref`` in this process."""
+    if ref.array is not None:
+        return ref.array
+    assert ref.shm_name is not None, "array ref carries neither array nor shm"
+    cached = _SHM_VIEWS.get(ref.shm_name)
+    if cached is None:
+        shm = shared_memory.SharedMemory(name=ref.shm_name)
+        view = np.ndarray((ref.rows, 6), dtype=np.float64, buffer=shm.buf)
+        cached = (shm, view)
+        _SHM_VIEWS[ref.shm_name] = cached
+    return cached[1]
+
+
+def _resolve_model(ref: _ModelRef) -> MatchMixture:
+    """The fitted mixture behind ``ref``, deserialised at most once."""
+    if ref.model is not None:
+        return ref.model
+    assert ref.shm_name is not None, "model ref carries neither model nor shm"
+    model = _MODEL_CACHE.get(ref.shm_name)
+    if model is None:
+        shm = shared_memory.SharedMemory(name=ref.shm_name)
+        try:
+            model = pickle.loads(bytes(shm.buf[: ref.nbytes]))
+        finally:
+            shm.close()
+        _MODEL_CACHE[ref.shm_name] = model
+    return model
+
+
+# --------------------------------------------------------------------- #
 # worker context + tasks
 # --------------------------------------------------------------------- #
 @dataclass(slots=True)
 class _WorkerContext:
     """Heavy shared inputs, shipped once per worker (pool initializer).
 
-    Tasks themselves stay light (name lists, vid tuples, score arrays):
-    the SCN, the split-balance network, the corpus and the global
-    frequency tables travel to each worker process exactly once instead
-    of once per task, which is what keeps pool overhead flat as the
-    number of shards grows.
+    Tasks themselves stay light (name lists, vid tuples, row spans): the
+    SCN, the corpus, the global frequency tables and the γ-buffer
+    reference travel to each worker process exactly once instead of
+    once per task, which is what keeps pool overhead flat as the number
+    of chunks grows.  (The split-balance network deliberately stays
+    out: its scoring runs parent-side — see :func:`_score_split_chunk`.)
     """
 
     scn: CollaborationNetwork
-    split_network: CollaborationNetwork | None
     corpus: Corpus
     word_frequencies: dict[str, int]
     venue_frequencies: dict[str, int]
     embeddings: WordEmbeddings | None
     wl_iterations: int
     decay_alpha: float
+    gamma_ref: _ArrayRef
 
     def computer(self, network: CollaborationNetwork) -> SimilarityComputer:
         """A similarity computer over ``network`` with the global tables."""
@@ -427,38 +534,78 @@ def _init_worker(ctx: _WorkerContext) -> None:
     _CTX = ctx
 
 
+def _boot_pool_worker(ctx: _WorkerContext | None = None) -> None:
+    """Pool-worker initializer: install the context, then freeze the heap.
+
+    A worker starts life holding a heavy object graph — the fork-
+    inherited parent heap (which may include a whole previously fitted
+    estimator, as in the benchmark's single-vs-sharded comparison) or
+    the spawn-pickled :class:`_WorkerContext`.  Chunk scoring allocates
+    enough to trigger full GC passes, and every pass would re-walk
+    those millions of long-lived objects (unsharing their
+    copy-on-write pages in the bargain): on a corpus where the fit
+    itself takes ~11 s, that repeated traversal alone blew the pooled
+    fit up to ~190 s.  ``gc.freeze`` parks everything alive at worker
+    start in the permanent generation, so collections scan only
+    worker-born garbage.  Workers are short-lived and never need to
+    reclaim the context, so freezing costs nothing.
+    """
+    if ctx is not None:
+        _init_worker(ctx)
+    gc.freeze()
+
+
 def _require_ctx() -> _WorkerContext:
     assert _CTX is not None, "worker context not initialised"
     return _CTX
 
 
 @dataclass(slots=True)
-class _GammaTask:
+class _GammaChunkTask:
+    """Phase-A unit: a contiguous run of names, ≈equal candidate pairs.
+
+    Chunk boundaries depend only on the network and
+    ``config.gamma_chunk_pairs`` — never on worker count — so serial and
+    pool runs fill byte-identical buffers and a fat shard never
+    serialises the phase behind one straggler task.
+    """
+
     index: int
     names: tuple[str, ...]
+    offset: int    # first γ-buffer row of this chunk
+    n_pairs: int
 
 
 @dataclass(slots=True)
-class _ShardGammas:
+class _ChunkDone:
+    """Tiny pool return of a buffer-writing task: identity + wall-clock."""
+
     index: int
-    name_pairs: list[tuple[str, list[Pair]]]
-    gammas: np.ndarray
     seconds: float
 
 
 @dataclass(slots=True)
 class _SplitScoreTask:
+    index: int
+    offset: int    # first split-buffer row of this chunk
     pairs: list[Pair]
 
 
 @dataclass(slots=True)
 class _DecisionTask:
+    """Phase-B unit: everything a worker needs that its context lacks.
+
+    Deliberately model- and score-free: the worker re-reads its γ rows
+    from the shared buffer (``row_spans``) and scores them against the
+    broadcast model it resolves through :func:`_resolve_model`.
+    """
+
     index: int
-    vids: tuple[int, ...]          # owned + halo, cut in the worker
+    names: tuple[str, ...]                    # decision names, shard order
+    vids: tuple[int, ...]                     # owned + halo, cut in the worker
     owned_vids: tuple[int, ...]
-    name_pairs: list[tuple[str, list[Pair]]]
-    round1_scores: np.ndarray
-    model: MatchMixture
+    row_spans: tuple[tuple[int, int], ...]    # γ-buffer (offset, count) per name
+    model: _ModelRef
     config: IUADConfig
 
 
@@ -473,67 +620,88 @@ class _ShardFit:
     seconds: float
 
 
-def _compute_shard_gammas(task: _GammaTask) -> _ShardGammas:
-    """Phase A: γ vectors of every candidate pair of the shard's names.
+def _compute_gamma_chunk(task: _GammaChunkTask) -> _ChunkDone:
+    """Phase A: γ vectors of the chunk's candidate pairs, written in place.
 
     Scoring runs against the *full* process-local SCN — the same graph
     the single-process fit scores against, so profiles and γ values are
     identical by construction (no halo bookkeeping on this path).
 
-    Each task deliberately starts a fresh computer: profiles are built
-    only for pair endpoints, and names are partitioned across shards, so
-    tasks' profile sets are disjoint — a cross-task cache would buy
-    nothing, while sharing the engine's interned column space across
+    Each chunk deliberately starts a fresh computer: profiles are built
+    only for pair endpoints, and names never straddle chunks, so chunks'
+    profile sets are disjoint — a cross-task cache would buy nothing,
+    while sharing the engine's interned column space across
     scheduler-ordered tasks would make float accumulation order depend
     on pool scheduling and break run-to-run determinism.
     """
     t0 = time.perf_counter()
     ctx = _require_ctx()
-    computer = ctx.computer(ctx.scn)
-    name_pairs: list[tuple[str, list[Pair]]] = []
     flat: list[Pair] = []
     for name in task.names:
-        pairs = candidate_pairs_of_name(ctx.scn, name)
-        name_pairs.append((name, pairs))
-        flat.extend(pairs)
-    gammas = (
-        computer.pair_matrix(flat)
-        if flat
-        else np.zeros((0, 6), dtype=np.float64)
-    )
-    return _ShardGammas(
-        index=task.index,
-        name_pairs=name_pairs,
-        gammas=gammas,
-        seconds=time.perf_counter() - t0,
-    )
+        flat.extend(candidate_pairs_of_name(ctx.scn, name))
+    assert len(flat) == task.n_pairs, "γ chunk plan drifted from the network"
+    if flat:
+        out = _view_of(ctx.gamma_ref)[task.offset : task.offset + len(flat)]
+        ctx.computer(ctx.scn).pair_matrix(flat, out=out)
+    return _ChunkDone(index=task.index, seconds=time.perf_counter() - t0)
 
 
-def _score_split_chunk(task: _SplitScoreTask) -> np.ndarray:
+def _score_split_chunk(
+    computer: SimilarityComputer, split_buf: np.ndarray, task: _SplitScoreTask
+) -> _ChunkDone:
     """Score one chunk of split-balance matched pairs (Section V-F2).
 
-    Building WL profiles on the dense split network is the single most
-    expensive item of model learning — chunked into the pool so it never
-    runs serial nor as one straggler task.
+    This deliberately runs **in the parent**, overlapped with the pooled
+    γ chunks, never as a pool task.  Profiles on the dense split network
+    allocate on the order of a gigabyte of transients; in a forked
+    worker every one of those writes lands on a copy-on-write arena
+    page inherited from the parent, and the resulting minor-fault storm
+    (~400k faults measured for a few hundred pairs) made the pooled
+    version 10–30× slower than this in-parent loop, whose heap is
+    already warm.  A spawn worker fares no better — it pays the same
+    bill unpickling the context.  The parent scores the split buffer
+    while the pool crunches γ, which is all the parallelism this small,
+    profile-bound workload can profit from.
     """
-    ctx = _require_ctx()
-    assert ctx.split_network is not None
-    return ctx.computer(ctx.split_network).pair_matrix(task.pairs)
+    t0 = time.perf_counter()
+    out = split_buf[task.offset : task.offset + len(task.pairs)]
+    computer.pair_matrix(task.pairs, out=out)
+    return _ChunkDone(index=task.index, seconds=time.perf_counter() - t0)
 
 
 def _fit_shard(task: _DecisionTask) -> _ShardFit:
-    """Phase B: run the shared decision loop on one block, drop the halo."""
+    """Phase B: run the shared decision loop on one block, drop the halo.
+
+    Round-one inputs are rebuilt worker-side: candidate pairs from the
+    process-local SCN (deterministic: sorted-vid combinations), γ rows
+    from the shared buffer, Eq. 11 scores from the cached broadcast
+    model — ``match_scores`` is row-wise, so scoring here instead of in
+    the parent is bit-identical.
+    """
     t0 = time.perf_counter()
     ctx = _require_ctx()
+    model = _resolve_model(task.model)
+    gamma = _view_of(ctx.gamma_ref)
+    name_pairs: list[tuple[str, list[Pair]]] = []
+    blocks: list[np.ndarray] = []
+    for name, (offset, count) in zip(task.names, task.row_spans):
+        pairs = candidate_pairs_of_name(ctx.scn, name)
+        assert len(pairs) == count, "γ row span drifted from the network"
+        name_pairs.append((name, pairs))
+        blocks.append(gamma[offset : offset + count])
+    scores = match_scores(
+        model,
+        np.concatenate(blocks) if blocks else np.zeros((0, 6), dtype=np.float64),
+    )
     network = ctx.scn.subnetwork(task.vids)
     computer = ctx.computer(network)
     outcome = run_merge_rounds(
         network,
-        [name for name, _pairs in task.name_pairs],
-        task.model,
+        [name for name, _pairs in name_pairs],
+        model,
         computer,
         task.config,
-        round1=(task.name_pairs, task.round1_scores),
+        round1=(name_pairs, scores),
     )
     # Same-name merges keep representatives inside the owned set, so the
     # halo survives untouched — strip it before shipping the block back.
@@ -548,6 +716,135 @@ def _fit_shard(task: _DecisionTask) -> _ShardFit:
         per_name_seconds=outcome.per_name_seconds,
         seconds=time.perf_counter() - t0,
     )
+
+
+# --------------------------------------------------------------------- #
+# γ layout
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class _GammaPlan:
+    """Global γ-buffer layout: canonical row order + pair-count chunks.
+
+    Rows follow the exact candidate order the single-process fit
+    enumerates (``scn.names`` order, per-name sorted-vid pairs), so the
+    training sample is a plain row slice and per-name spans are
+    contiguous.  ``tasks`` tile that order into
+    ``config.gamma_chunk_pairs``-sized chunks of whole names.
+    """
+
+    ordered_names: list[str]
+    name_rows: dict[str, tuple[int, int]]    # name -> (offset, count)
+    all_pairs: list[Pair]
+    tasks: list[_GammaChunkTask]
+    chunk_of_name: dict[str, int]
+    chunk_starts: list[int]                  # first row of each chunk
+    total_rows: int
+
+    def chunk_of_row(self, row: int) -> int:
+        """Index of the chunk that computes γ-buffer row ``row``."""
+        return bisect_right(self.chunk_starts, row) - 1
+
+
+def _plan_gamma(scn: CollaborationNetwork, chunk_pairs: int) -> _GammaPlan:
+    """Lay out every pair-bearing name's candidates into one flat buffer."""
+    ordered_names: list[str] = []
+    name_rows: dict[str, tuple[int, int]] = {}
+    all_pairs: list[Pair] = []
+    offset = 0
+    for name in scn.names:
+        pairs = candidate_pairs_of_name(scn, name)
+        if not pairs:
+            continue
+        ordered_names.append(name)
+        name_rows[name] = (offset, len(pairs))
+        all_pairs.extend(pairs)
+        offset += len(pairs)
+
+    budget = max(1, chunk_pairs)
+    tasks: list[_GammaChunkTask] = []
+    chunk_of_name: dict[str, int] = {}
+    chunk_starts: list[int] = []
+    current: list[str] = []
+    current_rows = 0
+    start = 0
+    for name in ordered_names:
+        row_offset, count = name_rows[name]
+        if current and current_rows + count > budget:
+            tasks.append(
+                _GammaChunkTask(
+                    index=len(tasks),
+                    names=tuple(current),
+                    offset=start,
+                    n_pairs=current_rows,
+                )
+            )
+            chunk_starts.append(start)
+            current, current_rows, start = [], 0, row_offset
+        current.append(name)
+        chunk_of_name[name] = len(tasks)
+        current_rows += count
+    if current:
+        tasks.append(
+            _GammaChunkTask(
+                index=len(tasks),
+                names=tuple(current),
+                offset=start,
+                n_pairs=current_rows,
+            )
+        )
+        chunk_starts.append(start)
+    return _GammaPlan(
+        ordered_names=ordered_names,
+        name_rows=name_rows,
+        all_pairs=all_pairs,
+        tasks=tasks,
+        chunk_of_name=chunk_of_name,
+        chunk_starts=chunk_starts,
+        total_rows=offset,
+    )
+
+
+# --------------------------------------------------------------------- #
+# execution accounting
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class _PhaseStats:
+    """Pipeline phase walls + transport counters of one sharded fit.
+
+    ``*_wall_seconds`` are parent-observed spans (submission of the first
+    task of a kind to completion of its last), ``*_task_seconds`` are
+    worker-summed compute; on a pool their walls overlap, which is the
+    point — ``overlap_seconds`` is the wall-clock the pipelining bought
+    versus running γ → EM → decisions as sequential barriers.
+    """
+
+    pipeline_seconds: float = 0.0
+    gamma_wall_seconds: float = 0.0
+    split_wall_seconds: float = 0.0
+    em_seconds: float = 0.0
+    decide_wall_seconds: float = 0.0
+    overlap_seconds: float = 0.0
+    gamma_task_seconds: float = 0.0
+    split_task_seconds: float = 0.0
+    decide_task_seconds: float = 0.0
+    n_gamma_chunks: int = 0
+    overlap_gamma_chunks: int = 0
+    ipc_task_bytes: int = 0
+    shm_bytes: int = 0
+
+
+@dataclass(slots=True)
+class _FitOutcome:
+    """Everything a driver (serial or pool) hands back to ``fit``."""
+
+    model: MatchMixture
+    em_report: object
+    n_train: int
+    n_split: int
+    shard_fits: list[_ShardFit]
+    per_name_gamma: dict[str, float]
+    shard_gamma: dict[int, float]
+    phase: _PhaseStats
 
 
 # --------------------------------------------------------------------- #
@@ -607,77 +904,44 @@ class ShardedIUAD(IUAD):
         decision_names = list(corpus.names if names is None else names)
         decision_set = set(decision_names)
 
+        gplan = _plan_gamma(scn, cfg.gamma_chunk_pairs)
         split_pairs, split_tasks, split_network = self._split_tasks(scn)
-        ctx = _WorkerContext(
-            scn=scn,
-            split_network=split_network,
-            corpus=corpus,
-            word_frequencies=word_freq,
-            venue_frequencies=venue_freq,
-            embeddings=self.embeddings_,
-            wl_iterations=cfg.wl_iterations,
-            decay_alpha=cfg.decay_alpha,
+        # The training sample is known *before* any γ is computed: the
+        # global candidate order is a pure function of the SCN, so the
+        # sample (identical to the single-process draw) tells the pool
+        # driver exactly which γ chunks the EM midsection must await —
+        # the rest keep computing underneath it.
+        training = sample_training_pairs(
+            gplan.all_pairs, cfg.sample_rate, cfg.min_training_pairs, cfg.seed
         )
-        gamma_tasks = [
-            _GammaTask(index=shard.index, names=shard.names)
-            for shard in plan.shards
-        ]
+        row_of = {pair: i for i, pair in enumerate(gplan.all_pairs)}
+        training_rows = [row_of[pair] for pair in training]
 
-        def execute(run_map):
-            """Phases A → model → B, parameterised only by the mapper.
-
-            One body for the serial and pool paths — the parity contract
-            forbids letting them drift.  Split-score chunks are the
-            longest poles, so they are submitted first and the pool never
-            ends on one straggler.
-            """
-            split_iter = run_map(_score_split_chunk, split_tasks)
-            gamma_results = list(run_map(_compute_shard_gammas, gamma_tasks))
-            split_gammas = self._stack_split(split_tasks, split_iter)
-            model, em_report, n_train, n_split, decision_data = (
-                self._central_section(
-                    scn, corpus, plan, gamma_results,
-                    (split_pairs, split_gammas),
-                )
-            )
-            shard_fits = self._decide_shards(
-                plan, scn, gamma_results, decision_data,
-                decision_set, model,
-                lambda tasks: list(run_map(_fit_shard, tasks)),
-            )
-            return gamma_results, model, em_report, n_train, n_split, shard_fits
-
+        use_pool = cfg.n_workers >= 1 and bool(gplan.tasks)
         previous_ctx = _CTX
+        shm_blocks: list[shared_memory.SharedMemory] = []
         try:
-            if cfg.n_workers >= 1 and (gamma_tasks or split_tasks):
-                # Under the fork start method, workers inherit the
-                # parent's memory copy-on-write: setting the module-level
-                # context *before* the pool forks ships the SCN/corpus to
-                # every worker for free.  Spawn platforms pickle it once
-                # per worker through the initializer instead.
-                if multiprocessing.get_start_method() == "fork":
-                    _init_worker(ctx)
-                    pool_kwargs = {}
-                else:
-                    pool_kwargs = {
-                        "initializer": _init_worker,
-                        "initargs": (ctx,),
-                    }
-                with ProcessPoolExecutor(
-                    max_workers=cfg.n_workers, **pool_kwargs
-                ) as pool:
-                    (
-                        gamma_results, model, em_report,
-                        n_train, n_split, shard_fits,
-                    ) = execute(pool.map)
-            else:
-                _init_worker(ctx)
-                (
-                    gamma_results, model, em_report,
-                    n_train, n_split, shard_fits,
-                ) = execute(map)
+            run = self._run_pool if use_pool else self._run_serial
+            outcome = run(
+                scn, corpus, plan, gplan, split_pairs, split_tasks,
+                split_network, training, training_rows, decision_set,
+                word_freq, venue_freq, shm_blocks,
+            )
         finally:
             _CTX = previous_ctx
+            # The pool is joined by now (its context manager exits inside
+            # the driver), so no worker still reads these segments.
+            for shm in shm_blocks:
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - a traceback frame
+                    pass             # still pins a view; unlink regardless
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        model = outcome.model
+        shard_fits = outcome.shard_fits
 
         # Deterministic merge: shard networks in index order, then the
         # singleton fast path, stitched under one fresh id space.
@@ -718,16 +982,366 @@ class ShardedIUAD(IUAD):
         self.plan_ = plan
         self.shard_index_ = ShardIndex(plan.name_to_shard, plan.n_blocks)
         self.report_ = self._build_report(
-            scn_report, em_report, n_train, n_split, plan, gamma_results,
-            shard_fits, gcn, stage1, stage2, stitch_seconds,
+            scn_report, outcome, plan, gcn, stage1, stage2, stitch_seconds,
         )
         return self
 
     # ------------------------------------------------------------------ #
+    # drivers
+    # ------------------------------------------------------------------ #
+    def _run_serial(
+        self,
+        scn: CollaborationNetwork,
+        corpus: Corpus,
+        plan: ShardPlan,
+        gplan: _GammaPlan,
+        split_pairs: list[Pair],
+        split_tasks: list[_SplitScoreTask],
+        split_network: CollaborationNetwork | None,
+        training: list[Pair],
+        training_rows: list[int],
+        decision_set: set[str],
+        word_freq: dict[str, int],
+        venue_freq: dict[str, int],
+        shm_blocks: list[shared_memory.SharedMemory],
+    ) -> _FitOutcome:
+        """Eager in-process execution of the same A → EM → B pipeline.
+
+        Every chunk runs through the *same* task functions and result
+        buffers as the pool path (plain process-local arrays standing in
+        for shared memory), and every stage is materialised eagerly
+        inside its own timer — no lazy generators executing under a
+        later stage's clock, so the per-stage attribution is honest.
+        """
+        gamma_buf = np.zeros((gplan.total_rows, 6), dtype=np.float64)
+        split_buf = np.zeros((len(split_pairs), 6), dtype=np.float64)
+        ctx = self._make_context(
+            scn, corpus, word_freq, venue_freq,
+            _ArrayRef(rows=gplan.total_rows, array=gamma_buf),
+        )
+        _init_worker(ctx)
+        phase = _PhaseStats(n_gamma_chunks=len(gplan.tasks))
+        chunk_secs: dict[int, float] = {}
+
+        t_pipe = time.perf_counter()
+        t = time.perf_counter()
+        for task in gplan.tasks:
+            done = _compute_gamma_chunk(task)
+            chunk_secs[done.index] = done.seconds
+            phase.gamma_task_seconds += done.seconds
+        phase.gamma_wall_seconds = time.perf_counter() - t
+
+        t = time.perf_counter()
+        if split_tasks:
+            split_computer = ctx.computer(split_network)
+            for split_task in split_tasks:
+                phase.split_task_seconds += _score_split_chunk(
+                    split_computer, split_buf, split_task
+                ).seconds
+        phase.split_wall_seconds = time.perf_counter() - t
+
+        t = time.perf_counter()
+        model, em_report, n_train, n_split = self._central_section(
+            scn, corpus, training, training_rows,
+            gamma_buf, split_pairs, split_buf,
+        )
+        phase.em_seconds = time.perf_counter() - t
+
+        tasks, fits = self._decision_tasks(
+            plan, gplan, decision_set, _ModelRef(model=model), scn
+        )
+        t = time.perf_counter()
+        for decision_task in tasks:
+            fit = _fit_shard(decision_task)
+            phase.decide_task_seconds += fit.seconds
+            fits[fit.index] = fit
+        phase.decide_wall_seconds = time.perf_counter() - t
+        phase.pipeline_seconds = time.perf_counter() - t_pipe
+
+        per_name_gamma, shard_gamma = self._attribute_gamma(
+            gplan, plan, chunk_secs
+        )
+        return _FitOutcome(
+            model=model,
+            em_report=em_report,
+            n_train=n_train,
+            n_split=n_split,
+            shard_fits=[fits[shard.index] for shard in plan.shards],
+            per_name_gamma=per_name_gamma,
+            shard_gamma=shard_gamma,
+            phase=phase,
+        )
+
+    def _run_pool(
+        self,
+        scn: CollaborationNetwork,
+        corpus: Corpus,
+        plan: ShardPlan,
+        gplan: _GammaPlan,
+        split_pairs: list[Pair],
+        split_tasks: list[_SplitScoreTask],
+        split_network: CollaborationNetwork | None,
+        training: list[Pair],
+        training_rows: list[int],
+        decision_set: set[str],
+        word_freq: dict[str, int],
+        venue_freq: dict[str, int],
+        shm_blocks: list[shared_memory.SharedMemory],
+    ) -> _FitOutcome:
+        """Pipelined pool execution: submit/as_completed, no phase barriers.
+
+        Timeline: all γ chunks are submitted up front; the parent then
+        scores the split-balance pairs itself while the pool crunches γ
+        (pooling that profile-bound workload loses badly — see
+        :func:`_score_split_chunk`); the EM midsection starts once the
+        split buffer and the *sampled* γ rows are in — the γ tail keeps
+        computing underneath it; each shard's decision task is
+        dispatched the moment both the model and its γ rows exist.
+        Results are keyed by chunk/shard index, so completion order
+        never leaks into the outcome.
+        """
+        cfg = self.config
+        method = cfg.mp_start_method or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        mp_context = multiprocessing.get_context(method)
+        gamma_ref, gamma_buf = self._shared_block(gplan.total_rows, shm_blocks)
+        split_buf = np.zeros((len(split_pairs), 6), dtype=np.float64)
+        ctx = self._make_context(
+            scn, corpus, word_freq, venue_freq, gamma_ref,
+        )
+        if method == "fork":
+            # Fork workers inherit the parent's memory copy-on-write:
+            # setting the module-level context *before* the pool forks
+            # ships the SCN/corpus to every worker for free.  The
+            # initializer then freezes the inherited heap in each child
+            # (see :func:`_boot_pool_worker`).
+            _init_worker(ctx)
+            pool_kwargs = {"initializer": _boot_pool_worker}
+        else:
+            # Spawn/forkserver workers pickle the context once per worker
+            # through the initializer, then freeze it the same way.
+            pool_kwargs = {
+                "initializer": _boot_pool_worker,
+                "initargs": (ctx,),
+            }
+
+        phase = _PhaseStats(
+            n_gamma_chunks=len(gplan.tasks),
+            shm_bytes=sum(shm.size for shm in shm_blocks),
+        )
+        chunk_secs: dict[int, float] = {}
+        finished_at: dict[tuple[str, int], float] = {}
+
+        def stamp(kind: str, index: int):
+            key = (kind, index)
+
+            def record(_fut: Future) -> None:
+                finished_at[key] = time.perf_counter()
+
+            return record
+
+        with ProcessPoolExecutor(
+            max_workers=cfg.n_workers, mp_context=mp_context, **pool_kwargs
+        ) as pool:
+            t_pipe = time.perf_counter()
+            gamma_futs: dict[Future, _GammaChunkTask] = {}
+            for task in gplan.tasks:
+                phase.ipc_task_bytes += len(
+                    pickle.dumps(task, pickle.HIGHEST_PROTOCOL)
+                )
+                fut = pool.submit(_compute_gamma_chunk, task)
+                fut.add_done_callback(stamp("gamma", task.index))
+                gamma_futs[fut] = task
+
+            # Split-balance scoring runs here in the parent, under the
+            # pool's γ work — the first slice of pipeline overlap.
+            t_split = time.perf_counter()
+            if split_tasks:
+                split_computer = ctx.computer(split_network)
+                for split_task in split_tasks:
+                    phase.split_task_seconds += _score_split_chunk(
+                        split_computer, split_buf, split_task
+                    ).seconds
+            phase.split_wall_seconds = time.perf_counter() - t_split
+
+            # The EM midsection additionally needs exactly the γ chunks
+            # carrying a sampled training row — not the whole phase.
+            needed = {gplan.chunk_of_row(row) for row in training_rows}
+            em_futs = [
+                fut for fut, task in gamma_futs.items() if task.index in needed
+            ]
+            done_chunks: set[int] = set()
+            for fut in as_completed(em_futs):
+                done = fut.result()
+                done_chunks.add(done.index)
+                chunk_secs[done.index] = done.seconds
+                phase.gamma_task_seconds += done.seconds
+
+            t_em = time.perf_counter()
+            model, em_report, n_train, n_split = self._central_section(
+                scn, corpus, training, training_rows,
+                gamma_buf, split_pairs, split_buf,
+            )
+            phase.em_seconds = time.perf_counter() - t_em
+
+            model_ref = self._broadcast_model(model, shm_blocks)
+            phase.shm_bytes += model_ref.nbytes
+            tasks, fits = self._decision_tasks(
+                plan, gplan, decision_set, model_ref, scn
+            )
+            pending = {task.index: task for task in tasks}
+            rows_needed = {
+                task.index: {gplan.chunk_of_name[name] for name in task.names}
+                for task in tasks
+            }
+            decide_futs: dict[Future, int] = {}
+            t_decide: float | None = None
+
+            def dispatch_ready() -> None:
+                nonlocal t_decide
+                ready = [
+                    index
+                    for index, chunks in rows_needed.items()
+                    if index in pending and chunks <= done_chunks
+                ]
+                for index in ready:
+                    decision_task = pending.pop(index)
+                    phase.ipc_task_bytes += len(
+                        pickle.dumps(decision_task, pickle.HIGHEST_PROTOCOL)
+                    )
+                    if t_decide is None:
+                        t_decide = time.perf_counter()
+                    fut = pool.submit(_fit_shard, decision_task)
+                    fut.add_done_callback(stamp("decide", index))
+                    decide_futs[fut] = index
+
+            # Shards whose γ landed before the model go out immediately;
+            # the rest dispatch as their tail chunks complete.
+            dispatch_ready()
+            tail = [
+                fut
+                for fut, task in gamma_futs.items()
+                if task.index not in done_chunks
+            ]
+            for fut in as_completed(tail):
+                done = fut.result()
+                done_chunks.add(done.index)
+                chunk_secs[done.index] = done.seconds
+                phase.gamma_task_seconds += done.seconds
+                dispatch_ready()
+            assert not pending, "decision dispatch lost a shard"
+            for fut in as_completed(decide_futs):
+                fit = fut.result()
+                phase.decide_task_seconds += fit.seconds
+                fits[fit.index] = fit
+            t_end = time.perf_counter()
+
+        # The pool is joined: every done-callback has fired, so the
+        # completion stamps are final.
+        gamma_done = [ts for (k, _), ts in finished_at.items() if k == "gamma"]
+        decide_done = [
+            ts for (k, _), ts in finished_at.items() if k == "decide"
+        ]
+        phase.gamma_wall_seconds = max(gamma_done, default=t_pipe) - t_pipe
+        phase.decide_wall_seconds = (
+            max(decide_done) - t_decide if decide_done and t_decide else 0.0
+        )
+        phase.pipeline_seconds = t_end - t_pipe
+        phase.overlap_gamma_chunks = sum(
+            1 for (k, _), ts in finished_at.items() if k == "gamma" and ts > t_em
+        )
+        # Concurrency won: how much longer the phases would have taken
+        # laid end to end.  The parent-side split loop runs under the γ
+        # wall, and the γ tail runs under EM/decide, so the sum of walls
+        # can legitimately exceed the pipeline.
+        phase.overlap_seconds = max(
+            0.0,
+            phase.gamma_wall_seconds
+            + phase.split_wall_seconds
+            + phase.em_seconds
+            + phase.decide_wall_seconds
+            - phase.pipeline_seconds,
+        )
+
+        per_name_gamma, shard_gamma = self._attribute_gamma(
+            gplan, plan, chunk_secs
+        )
+        return _FitOutcome(
+            model=model,
+            em_report=em_report,
+            n_train=n_train,
+            n_split=n_split,
+            shard_fits=[fits[shard.index] for shard in plan.shards],
+            per_name_gamma=per_name_gamma,
+            shard_gamma=shard_gamma,
+            phase=phase,
+        )
+
+    # ------------------------------------------------------------------ #
+    # driver helpers
+    # ------------------------------------------------------------------ #
+    def _make_context(
+        self,
+        scn: CollaborationNetwork,
+        corpus: Corpus,
+        word_freq: dict[str, int],
+        venue_freq: dict[str, int],
+        gamma_ref: _ArrayRef,
+    ) -> _WorkerContext:
+        cfg = self.config
+        return _WorkerContext(
+            scn=scn,
+            corpus=corpus,
+            word_frequencies=word_freq,
+            venue_frequencies=venue_freq,
+            embeddings=self.embeddings_,
+            wl_iterations=cfg.wl_iterations,
+            decay_alpha=cfg.decay_alpha,
+            gamma_ref=gamma_ref,
+        )
+
+    @staticmethod
+    def _shared_block(
+        rows: int, shm_blocks: list[shared_memory.SharedMemory]
+    ) -> tuple[_ArrayRef, np.ndarray]:
+        """A ``(rows, 6)`` float64 result block backed by shared memory.
+
+        Returns the worker-facing reference and the parent's own view.
+        Zero-row blocks skip the OS segment (``SharedMemory`` forbids
+        empty segments) and ship a plain empty array instead.
+        """
+        if rows == 0:
+            empty = np.zeros((0, 6), dtype=np.float64)
+            return _ArrayRef(rows=0, array=empty), empty
+        shm = shared_memory.SharedMemory(create=True, size=rows * 6 * 8)
+        shm_blocks.append(shm)
+        view = np.ndarray((rows, 6), dtype=np.float64, buffer=shm.buf)
+        view[:] = 0.0
+        return _ArrayRef(rows=rows, shm_name=shm.name), view
+
+    @staticmethod
+    def _broadcast_model(
+        model: MatchMixture, shm_blocks: list[shared_memory.SharedMemory]
+    ) -> _ModelRef:
+        """Publish the fitted mixture once for every Phase-B worker."""
+        blob = pickle.dumps(model, pickle.HIGHEST_PROTOCOL)
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        shm.buf[: len(blob)] = blob
+        shm_blocks.append(shm)
+        return _ModelRef(shm_name=shm.name, nbytes=len(blob))
+
     def _split_tasks(
         self, scn: CollaborationNetwork
     ) -> tuple[list[Pair], list[_SplitScoreTask], CollaborationNetwork | None]:
-        """Split-balance matched pairs, chunked for the pool."""
+        """Split-balance matched pairs, chunked like the γ phase.
+
+        Chunk size follows ``config.gamma_chunk_pairs`` — not the worker
+        count — so the layout (and the float accumulation order behind
+        it) is identical on the serial and pool paths.
+        """
         cfg = self.config
         if not cfg.balance_split:
             return [], [], None
@@ -740,103 +1354,73 @@ class ShardedIUAD(IUAD):
         pairs = list(split.matched_pairs)
         if not pairs:
             return [], [], None
-        n_chunks = max(1, cfg.n_workers)
-        chunk_size = -(-len(pairs) // n_chunks)
+        chunk = max(1, cfg.gamma_chunk_pairs)
         tasks = [
-            _SplitScoreTask(pairs=pairs[start : start + chunk_size])
-            for start in range(0, len(pairs), chunk_size)
+            _SplitScoreTask(
+                index=i, offset=start, pairs=pairs[start : start + chunk]
+            )
+            for i, start in enumerate(range(0, len(pairs), chunk))
         ]
         return pairs, tasks, split.network
-
-    @staticmethod
-    def _stack_split(tasks, chunks) -> np.ndarray:
-        if not tasks:
-            return np.zeros((0, 6), dtype=np.float64)
-        return np.vstack(list(chunks))
 
     def _central_section(
         self,
         scn: CollaborationNetwork,
         corpus: Corpus,
-        plan: ShardPlan,
-        gamma_results: list[_ShardGammas],
-        split: tuple[list[Pair], np.ndarray],
+        training: list[Pair],
+        training_rows: list[int],
+        gamma_buf: np.ndarray,
+        split_pairs: list[Pair],
+        split_buf: np.ndarray,
     ):
-        """The serial middle: global training sample + EM fit.
+        """The serial middle: sampled training rows + EM fit.
 
-        Reassembles the candidate pairs in the exact global order the
+        The γ buffer is already in the exact global order the
         single-process fit enumerates (``scn.names`` order, per-name
-        sorted-vid pairs), so ``sample_training_pairs`` draws the same
-        sample, then slices the sampled γ rows out of the Phase-A
-        matrices instead of re-scoring anything.
+        sorted-vid pairs — see :func:`_plan_gamma`), so the sampled rows
+        are a plain slice; nothing is re-scored.  Both inputs are
+        materialised as copies so no EM state pins the shared-memory
+        segments past the pool's lifetime.
         """
-        cfg = self.config
-        by_name: dict[str, tuple[list[Pair], np.ndarray]] = {}
-        for result in gamma_results:
-            offset = 0
-            for name, pairs in result.name_pairs:
-                by_name[name] = (pairs, result.gammas[offset : offset + len(pairs)])
-                offset += len(pairs)
-        all_pairs: list[Pair] = []
-        row_blocks: list[np.ndarray] = []
-        for name in scn.names:
-            entry = by_name.get(name)
-            if entry is not None:
-                pairs, rows = entry
-                all_pairs.extend(pairs)
-                row_blocks.append(rows)
-        all_gammas = (
-            np.vstack(row_blocks)
-            if row_blocks
-            else np.zeros((0, 6), dtype=np.float64)
-        )
-        training = sample_training_pairs(
-            all_pairs, cfg.sample_rate, cfg.min_training_pairs, cfg.seed
-        )
-        row_of = {pair: i for i, pair in enumerate(all_pairs)}
         training_gammas = (
-            all_gammas[[row_of[p] for p in training]]
-            if training
+            gamma_buf[training_rows]
+            if training_rows
             else np.zeros((0, 6), dtype=np.float64)
         )
-        model, em_report, n_train, n_split = self._learn_model(
+        split_gammas = np.array(split_buf, dtype=np.float64, copy=True)
+        return self._learn_model(
             scn,
             corpus,
             None,
             precomputed=(training, training_gammas),
-            precomputed_split=split,
+            precomputed_split=(split_pairs, split_gammas),
         )
-        return model, em_report, n_train, n_split, by_name
 
-    def _decide_shards(
+    def _decision_tasks(
         self,
         plan: ShardPlan,
-        scn: CollaborationNetwork,
-        gamma_results: list[_ShardGammas],
-        by_name: dict[str, tuple[list[Pair], np.ndarray]],
+        gplan: _GammaPlan,
         decision_set: set[str],
-        model: MatchMixture,
-        mapper: Callable[[list[_DecisionTask]], list[_ShardFit]],
-    ) -> list[_ShardFit]:
-        """Build Phase-B tasks, run them, fill in pass-through shards."""
+        model_ref: _ModelRef,
+        scn: CollaborationNetwork,
+    ) -> tuple[list[_DecisionTask], dict[int, _ShardFit]]:
+        """Phase-B tasks plus pre-filled pass-through fits, by shard index.
+
+        Tasks carry name lists, vid tuples and γ-row spans only — scores
+        are recomputed worker-side from the shared buffer and the cached
+        broadcast model, so no score array or model copy rides in any
+        task.  A shard whose names all fall outside the decision set
+        passes its block through unchanged, like the singleton fast path.
+        """
         cfg = self.config
         tasks: list[_DecisionTask] = []
-        passthrough: dict[int, _ShardFit] = {}
-        for shard, result in zip(plan.shards, gamma_results):
-            name_pairs: list[tuple[str, list[Pair]]] = []
-            score_blocks: list[np.ndarray] = []
-            for name, _pairs in result.name_pairs:
-                if name not in decision_set:
-                    continue
-                pairs, rows = by_name[name]
-                name_pairs.append((name, pairs))
-                score_blocks.append(rows)
-            flat = [pair for _name, pairs in name_pairs for pair in pairs]
-            if not flat:
-                # Nothing to decide in this shard (its names are outside
-                # the requested decision set): its block passes through
-                # unchanged, like the singleton fast path.
-                passthrough[shard.index] = _ShardFit(
+        fits: dict[int, _ShardFit] = {}
+        for shard in plan.shards:
+            decision_names = tuple(
+                name for name in shard.names if name in decision_set
+            )
+            if not decision_names:
+                fits[shard.index] = _ShardFit(
                     index=shard.index,
                     network=scn.subnetwork(shard.owned_vids),
                     n_merges=0,
@@ -846,51 +1430,63 @@ class ShardedIUAD(IUAD):
                     seconds=0.0,
                 )
                 continue
-            scores = match_scores(model, np.vstack(score_blocks))
             tasks.append(
                 _DecisionTask(
                     index=shard.index,
+                    names=decision_names,
                     vids=shard.owned_vids + shard.halo_vids,
                     owned_vids=shard.owned_vids,
-                    name_pairs=name_pairs,
-                    round1_scores=scores,
-                    model=model,
+                    row_spans=tuple(
+                        gplan.name_rows[name] for name in decision_names
+                    ),
+                    model=model_ref,
                     config=cfg,
                 )
             )
-        fitted = {fit.index: fit for fit in mapper(tasks)}
-        fitted.update(passthrough)
-        return [fitted[shard.index] for shard in plan.shards]
+        return tasks, fits
+
+    @staticmethod
+    def _attribute_gamma(
+        gplan: _GammaPlan, plan: ShardPlan, chunk_secs: dict[int, float]
+    ) -> tuple[dict[str, float], dict[int, float]]:
+        """Attribute chunk γ seconds to names and shards by pair share.
+
+        γ chunks tile the global pair order and cut across shard
+        boundaries, so per-shard γ time is reconstructed by prorating
+        each chunk over its names' candidate pairs — the same accounting
+        the per-name report always used (cf. ``run_merge_rounds``).
+        """
+        per_name: dict[str, float] = {}
+        per_shard: dict[int, float] = {}
+        for task in gplan.tasks:
+            seconds = chunk_secs.get(task.index, 0.0)
+            total = max(task.n_pairs, 1)
+            for name in task.names:
+                share = seconds * (gplan.name_rows[name][1] / total)
+                per_name[name] = per_name.get(name, 0.0) + share
+                shard_id = plan.name_to_shard.get(name)
+                if shard_id is not None:
+                    per_shard[shard_id] = per_shard.get(shard_id, 0.0) + share
+        return per_name, per_shard
 
     def _build_report(
         self,
         scn_report,
-        em_report,
-        n_train: int,
-        n_split: int,
+        outcome: _FitOutcome,
         plan: ShardPlan,
-        gamma_results: list[_ShardGammas],
-        shard_fits: list[_ShardFit],
         gcn: CollaborationNetwork,
         stage1: float,
         stage2: float,
         stitch_seconds: float,
     ) -> FitReport:
-        per_name: dict[str, float] = {}
+        per_name: dict[str, float] = dict(outcome.per_name_gamma)
         per_round_pairs: list[int] = []
         per_round_merges: list[int] = []
         shard_stats: list[ShardStats] = []
         n_merges = 0
-        for shard, gammas, fit in zip(plan.shards, gamma_results, shard_fits):
-            # Attribute the shard's batched γ time to its names by pair
-            # share (cf. the per-name accounting of run_merge_rounds).
-            total = max(shard.n_candidate_pairs, 1)
-            for name, pairs in gammas.name_pairs:
-                per_name[name] = (
-                    per_name.get(name, 0.0)
-                    + fit.per_name_seconds.get(name, 0.0)
-                    + gammas.seconds * (len(pairs) / total)
-                )
+        for shard, fit in zip(plan.shards, outcome.shard_fits):
+            for name, seconds in fit.per_name_seconds.items():
+                per_name[name] = per_name.get(name, 0.0) + seconds
             for i, count in enumerate(fit.per_round_candidate_pairs):
                 if i >= len(per_round_pairs):
                     per_round_pairs.append(0)
@@ -912,16 +1508,17 @@ class ShardedIUAD(IUAD):
                         else 0
                     ),
                     n_merges=fit.n_merges,
-                    gamma_seconds=gammas.seconds,
+                    gamma_seconds=outcome.shard_gamma.get(shard.index, 0.0),
                     decide_seconds=fit.seconds,
                 )
             )
+        phase = outcome.phase
         return FitReport(
             scn=scn_report,
-            em=em_report,
+            em=outcome.em_report,
             n_candidate_pairs=per_round_pairs[0] if per_round_pairs else 0,
-            n_training_pairs=n_train,
-            n_split_pairs=n_split,
+            n_training_pairs=outcome.n_train,
+            n_split_pairs=outcome.n_split,
             n_merges=n_merges,
             gcn_vertices=len(gcn),
             gcn_mentions=gcn.n_mentions,
@@ -936,4 +1533,17 @@ class ShardedIUAD(IUAD):
             partition_seconds=plan.seconds,
             stitch_seconds=stitch_seconds,
             shard_stats=shard_stats,
+            em_seconds=phase.em_seconds,
+            pipeline_seconds=phase.pipeline_seconds,
+            gamma_wall_seconds=phase.gamma_wall_seconds,
+            split_wall_seconds=phase.split_wall_seconds,
+            decide_wall_seconds=phase.decide_wall_seconds,
+            overlap_seconds=phase.overlap_seconds,
+            gamma_task_seconds=phase.gamma_task_seconds,
+            split_task_seconds=phase.split_task_seconds,
+            decide_task_seconds=phase.decide_task_seconds,
+            n_gamma_chunks=phase.n_gamma_chunks,
+            overlap_gamma_chunks=phase.overlap_gamma_chunks,
+            ipc_task_bytes=phase.ipc_task_bytes,
+            shm_bytes=phase.shm_bytes,
         )

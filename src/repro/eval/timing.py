@@ -65,13 +65,31 @@ def write_benchmark_json(
     Benchmarks commit these files (e.g. ``BENCH_similarity.json`` at the
     repo root) so speedups remain comparable across PRs.  Returns the
     written payload.
+
+    Provenance guard: the record's ``quick`` flag (when present) must
+    agree with the path convention — quick-mode records live in
+    ``*.quick.json``, full-mode records anywhere else.  A full-mode
+    payload aimed at a quick path (or vice versa) raises instead of
+    committing a record that lies about how it was produced.
     """
+    path = Path(path)
+    quick = extra.get("quick")
+    if quick is not None:
+        quick_path = path.name.endswith(".quick.json")
+        if bool(quick) != quick_path:
+            mode = "quick" if quick else "full"
+            raise ValueError(
+                f"refusing to write a {mode}-mode record to {path.name}: "
+                f"quick={bool(quick)} does not match the "
+                f"{'*.quick.json' if quick_path else 'non-quick'} path "
+                "convention"
+            )
     payload: dict[str, Any] = {
         "benchmark": benchmark,
         "stages": {k: round(v, 6) for k, v in stages.items()},
     }
     payload.update(extra)
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
 
@@ -92,7 +110,7 @@ def shard_summary(report: Any) -> dict[str, float]:
     total_pairs = sum(pairs)
     n = len(stats)
     ideal = total_pairs / n if n else 0.0
-    return {
+    summary = {
         "n_shards": n,
         "n_fastpath_vertices": getattr(report, "n_fastpath_vertices", 0),
         "total_candidate_pairs": total_pairs,
@@ -104,6 +122,30 @@ def shard_summary(report: Any) -> dict[str, float]:
         "stitch_seconds": round(getattr(report, "stitch_seconds", 0.0), 6),
         "total_merges": sum(s.n_merges for s in stats),
     }
+    # Pipeline phase walls + transport counters of the overlapped sharded
+    # executor (zero on single-process reports) — committed with the
+    # benchmark record so a scheduling or IPC regression is visible in
+    # the diff, not in a profiler.
+    for key in (
+        "pipeline_seconds",
+        "gamma_wall_seconds",
+        "split_wall_seconds",
+        "em_seconds",
+        "decide_wall_seconds",
+        "overlap_seconds",
+        "gamma_task_seconds",
+        "split_task_seconds",
+        "decide_task_seconds",
+    ):
+        summary[key] = round(float(getattr(report, key, 0.0)), 6)
+    for key in (
+        "n_gamma_chunks",
+        "overlap_gamma_chunks",
+        "ipc_task_bytes",
+        "shm_bytes",
+    ):
+        summary[key] = int(getattr(report, key, 0))
+    return summary
 
 
 def streaming_summary(report: Any) -> dict[str, float]:

@@ -312,6 +312,7 @@ class BatchSimilarityEngine:
         profile_of: Callable[[int], VertexProfile],
         alpha: float,
         transient: frozenset[int] = frozenset(),
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """``(n_pairs, 6)`` γ matrix, numerically matching the scalar path.
 
@@ -329,9 +330,18 @@ class BatchSimilarityEngine:
                 like the streaming walk's inline patching, should leave
                 them cacheable instead).  A transient vid that happens to
                 be cached already is served from (and left in) the cache.
+            out: Optional preallocated ``(n_pairs, 6)`` float64 buffer
+                the γ columns are written into (e.g. a shared-memory
+                view of the sharded executor, whose workers then ship no
+                result arrays at all).  Returned for convenience.
         """
         n = len(pairs)
-        out = np.empty((n, 6), dtype=np.float64)
+        if out is None:
+            out = np.empty((n, 6), dtype=np.float64)
+        elif out.shape != (n, 6):
+            raise ValueError(
+                f"out buffer has shape {out.shape}, expected {(n, 6)}"
+            )
         if n == 0:
             return out
         pairs_arr = np.asarray(pairs, dtype=np.int64).reshape(n, 2)

@@ -362,6 +362,7 @@ class SimilarityComputer:
         self,
         pairs: Sequence[tuple[int, int]],
         transient: frozenset[int] = frozenset(),
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Similarity vectors for many pairs, stacked into ``(n, 6)``.
 
@@ -375,18 +376,29 @@ class SimilarityComputer:
         will never be scored again; callers that re-read their probes
         (the streaming walk patches stale pairs against the same probes
         later) deliberately leave them cacheable.
+
+        ``out`` optionally supplies the ``(n, 6)`` float64 result buffer
+        — the sharded executor's workers pass shared-memory views here
+        so γ results never round-trip through pickle.
         """
         if len(pairs) >= self.batch_threshold:
-            return self.pair_matrix_batched(pairs, transient=transient)
-        return self.pair_matrix_perpair(pairs, transient=transient)
+            return self.pair_matrix_batched(pairs, transient=transient, out=out)
+        return self.pair_matrix_perpair(pairs, transient=transient, out=out)
 
     def pair_matrix_perpair(
         self,
         pairs: Sequence[tuple[int, int]],
         transient: frozenset[int] = frozenset(),
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Reference scalar path: one :meth:`similarity_vector` per pair."""
-        out = np.empty((len(pairs), N_SIMILARITIES), dtype=np.float64)
+        if out is None:
+            out = np.empty((len(pairs), N_SIMILARITIES), dtype=np.float64)
+        elif out.shape != (len(pairs), N_SIMILARITIES):
+            raise ValueError(
+                f"out buffer has shape {out.shape}, expected "
+                f"{(len(pairs), N_SIMILARITIES)}"
+            )
         for row, (u, v) in enumerate(pairs):
             out[row] = self.similarity_vector(u, v)
         for vid in transient:
@@ -397,10 +409,11 @@ class SimilarityComputer:
         self,
         pairs: Sequence[tuple[int, int]],
         transient: frozenset[int] = frozenset(),
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Vectorised path: all six γ's over the whole list at once."""
         gammas = self._engine.gamma_matrix(
-            pairs, self.profile, self.decay_alpha, transient=transient
+            pairs, self.profile, self.decay_alpha, transient=transient, out=out
         )
         for vid in transient:
             self._profiles.pop(vid, None)

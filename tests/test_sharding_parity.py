@@ -86,6 +86,28 @@ class TestShardVsGlobalParity:
             base, names
         )
 
+    def test_spawn_pool_fit_matches_global_fit(self, small_corpus, reference):
+        # Pinned start method: workers receive the context pickled through
+        # the pool initializer instead of fork's copy-on-write, and the
+        # model through the shared-memory broadcast — the shipping path a
+        # host application forcing "spawn" would get.
+        sharded = ShardedIUAD(
+            IUADConfig(n_workers=2, mp_start_method="spawn")
+        ).fit(small_corpus)
+        assert mention_clusterings(sharded, small_corpus.names) == reference
+
+    def test_gamma_chunk_size_does_not_change_decisions(
+        self, small_corpus, reference
+    ):
+        # Chunk granularity is a scheduling knob, not a model knob: a
+        # tiny chunk budget (many Phase-A tasks, maximum pipelining
+        # surface) must reproduce the same clusterings.
+        sharded = ShardedIUAD(
+            IUADConfig(n_workers=0, gamma_chunk_pairs=64)
+        ).fit(small_corpus)
+        assert sharded.report_.n_gamma_chunks > 5
+        assert mention_clusterings(sharded, small_corpus.names) == reference
+
 
 class TestShardReporting:
     def test_report_carries_shard_counters(self, small_corpus):
@@ -130,6 +152,112 @@ class TestShardReporting:
         # fast path is exactly the complement of the owned vertices
         assert owned.isdisjoint(plan.fastpath_vids)
         assert owned | set(plan.fastpath_vids) == {v.vid for v in scn}
+
+
+class TestPipelineAccounting:
+    """Per-stage accounting invariants of the overlapped executor.
+
+    The report's phase walls, worker-summed task seconds and overlap
+    counters must be internally consistent with the pipeline wall-clock —
+    no double-counted time, no time lost to an untimed lazy stage.
+    """
+
+    @pytest.fixture(scope="class")
+    def serial_report(self, small_corpus):
+        return (
+            ShardedIUAD(IUADConfig(n_workers=0, max_shard_size=300))
+            .fit(small_corpus)
+            .report_
+        )
+
+    @pytest.fixture(scope="class")
+    def pool_report(self, small_corpus):
+        return (
+            ShardedIUAD(IUADConfig(n_workers=2, max_shard_size=300))
+            .fit(small_corpus)
+            .report_
+        )
+
+    def test_serial_stages_partition_the_pipeline(self, serial_report):
+        # Serial execution has no overlap by construction: the four
+        # stage walls tile the pipeline span.  This is exactly the
+        # invariant lazy generators used to break — split scoring that
+        # executes inside the EM stage's timer shifts wall-clock between
+        # stages and the sum stops matching.
+        r = serial_report
+        walls = (
+            r.gamma_wall_seconds
+            + r.split_wall_seconds
+            + r.em_seconds
+            + r.decide_wall_seconds
+        )
+        assert r.overlap_seconds == 0.0
+        assert r.overlap_gamma_chunks == 0
+        assert abs(r.pipeline_seconds - walls) <= 0.05 + 0.1 * r.pipeline_seconds
+
+    def test_serial_stage_timers_bound_their_task_sums(self, serial_report):
+        # Each stage's wall is measured *around* its eagerly-executed
+        # tasks, so it can only exceed the worker-summed task seconds.
+        r = serial_report
+        assert r.gamma_wall_seconds >= r.gamma_task_seconds > 0.0
+        assert r.split_wall_seconds >= r.split_task_seconds
+        assert r.decide_wall_seconds >= r.decide_task_seconds > 0.0
+
+    def test_task_seconds_match_shard_attribution(self, serial_report):
+        # The per-shard γ/decide attribution is a *redistribution* of the
+        # worker-summed totals, never an inflation or a loss.
+        r = serial_report
+        assert sum(
+            s.gamma_seconds for s in r.shard_stats
+        ) == pytest.approx(r.gamma_task_seconds, abs=1e-6)
+        assert sum(
+            s.decide_seconds for s in r.shard_stats
+        ) == pytest.approx(r.decide_task_seconds, abs=1e-6)
+
+    def test_serial_runs_ship_no_ipc(self, serial_report):
+        assert serial_report.ipc_task_bytes == 0
+        assert serial_report.shm_bytes == 0
+        assert serial_report.n_gamma_chunks > 0
+
+    def test_pool_walls_fit_inside_the_pipeline(self, pool_report):
+        # Every phase wall is a sub-span of the pipeline span; overlap is
+        # by definition the wall-clock saved versus running the three
+        # serialisable phases as barriers.
+        r = pool_report
+        eps = 0.05
+        assert 0.0 <= r.gamma_wall_seconds <= r.pipeline_seconds + eps
+        assert 0.0 <= r.split_wall_seconds <= r.pipeline_seconds + eps
+        assert 0.0 <= r.decide_wall_seconds <= r.pipeline_seconds + eps
+        assert r.em_seconds <= r.pipeline_seconds + eps
+        assert r.overlap_seconds >= 0.0
+        assert r.overlap_seconds == pytest.approx(
+            max(
+                0.0,
+                r.gamma_wall_seconds
+                + r.split_wall_seconds
+                + r.em_seconds
+                + r.decide_wall_seconds
+                - r.pipeline_seconds,
+            ),
+            abs=1e-6,
+        )
+        assert 0 <= r.overlap_gamma_chunks <= r.n_gamma_chunks
+
+    def test_pool_accounts_every_task_and_transport(self, pool_report):
+        r = pool_report
+        # Worker-summed compute exists and redistributes exactly.
+        assert r.gamma_task_seconds > 0.0
+        assert sum(
+            s.gamma_seconds for s in r.shard_stats
+        ) == pytest.approx(r.gamma_task_seconds, abs=1e-6)
+        assert sum(
+            s.decide_seconds for s in r.shard_stats
+        ) == pytest.approx(r.decide_task_seconds, abs=1e-6)
+        # Tasks travelled by pickle (tiny), results by shared memory.
+        assert r.ipc_task_bytes > 0
+        assert r.shm_bytes > 0
+        # Stage 2 wraps the whole pipeline plus stitch/model bookkeeping.
+        assert r.stage2_seconds >= r.pipeline_seconds
 
 
 class TestShardedIncrementalRouting:
