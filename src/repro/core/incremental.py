@@ -250,14 +250,9 @@ class IncrementalDisambiguator:
         assert gcn is not None
         out: list[Assignment] = []
         for position, name in enumerate(paper.authors):
-            owner = next(
-                (
-                    vid
-                    for vid in gcn.vertices_of_name(name)
-                    if gcn.vertex(vid).mentions.get(paper.pid) == position
-                ),
-                -1,
-            )
+            owner = gcn.owner_of(paper.pid, position, name)
+            if owner is None:
+                owner = -1
             out.append(
                 Assignment(
                     name=name,

@@ -81,6 +81,7 @@ rebuild to the same values* are simply kept.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -167,6 +168,17 @@ class StreamingIngestor(IncrementalDisambiguator):
     and **replays nothing**: the restored state already contains every
     checkpointed paper, so the continuation is exactly the uninterrupted
     stream (``tests/test_snapshot_parity.py``).
+
+    Thread safety: a writer lock serializes :meth:`add_paper`,
+    :meth:`add_papers` and :meth:`checkpoint`, so a checkpoint requested
+    from another thread while bursts are running (the serving layer's
+    pattern — requests keep queueing while the writer drains) can never
+    observe a half-applied burst: it always captures a consistent
+    *post-burst* state, and resuming it then replaying the still-queued
+    papers reproduces exactly the clustering of draining the queue first
+    and checkpointing after (``tests/test_service.py`` pins this).
+    Queries are not serialized — readers are expected to go through an
+    immutable :class:`~repro.service.FittedView`, never the live writer.
     """
 
     def __init__(
@@ -182,6 +194,9 @@ class StreamingIngestor(IncrementalDisambiguator):
         )
         self.checkpoint_backend = checkpoint_backend
         self._papers_since_checkpoint = 0
+        # Re-entrant: add_papers -> _maybe_checkpoint -> checkpoint
+        # re-acquires while the burst still holds the write side.
+        self._write_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # durable checkpoints & warm-start resume
@@ -205,10 +220,11 @@ class StreamingIngestor(IncrementalDisambiguator):
             raise ValueError(
                 "no checkpoint path: pass one here or to the constructor"
             )
-        snapshot_of(self.iuad, stream=self.report).save(
-            target, backend=backend or self.checkpoint_backend
-        )
-        self._papers_since_checkpoint = 0
+        with self._write_lock:
+            snapshot_of(self.iuad, stream=self.report).save(
+                target, backend=backend or self.checkpoint_backend
+            )
+            self._papers_since_checkpoint = 0
         return target
 
     @classmethod
@@ -238,9 +254,10 @@ class StreamingIngestor(IncrementalDisambiguator):
         return ingestor
 
     def add_paper(self, paper: Paper):  # inherits the full docstring
-        before = self.report.n_papers
-        assignments = super().add_paper(paper)
-        self._maybe_checkpoint(self.report.n_papers - before)
+        with self._write_lock:
+            before = self.report.n_papers
+            assignments = super().add_paper(paper)
+            self._maybe_checkpoint(self.report.n_papers - before)
         return assignments
 
     def _maybe_checkpoint(self, n_new: int) -> None:
@@ -262,6 +279,12 @@ class StreamingIngestor(IncrementalDisambiguator):
         would fail midway; under ``"return"`` duplicates replay the
         current owners of their mentions, exactly as sequentially.
         """
+        with self._write_lock:
+            return self._add_papers_locked(papers)
+
+    def _add_papers_locked(
+        self, papers: Sequence[Paper]
+    ) -> list[list[Assignment]]:
         corpus = self.iuad.corpus_
         gcn = self.iuad.gcn_
         computer = self.iuad.computer_

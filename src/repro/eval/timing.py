@@ -177,6 +177,80 @@ def streaming_summary(report: Any) -> dict[str, float]:
     }
 
 
+def latency_percentile(samples: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Plain-python so the serving harness needs no numpy in its client
+    threads; 0.0 for an empty sample set.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def latency_summary(seconds: Iterable[float]) -> dict[str, float]:
+    """p50/p90/p99/mean of latency samples, in milliseconds."""
+    samples = list(seconds)
+    return {
+        "n": len(samples),
+        "mean_ms": round(
+            1000.0 * sum(samples) / len(samples), 3
+        ) if samples else 0.0,
+        "p50_ms": round(1000.0 * latency_percentile(samples, 50), 3),
+        "p90_ms": round(1000.0 * latency_percentile(samples, 90), 3),
+        "p99_ms": round(1000.0 * latency_percentile(samples, 99), 3),
+    }
+
+
+def serving_summary(
+    idle_read_seconds: Iterable[float],
+    loaded_read_seconds: Iterable[float],
+    *,
+    read_wall_seconds: float,
+    n_ingested_papers: int,
+    ingest_wall_seconds: float,
+    n_swaps: int,
+) -> dict[str, Any]:
+    """Flatten one serving load-test run for benchmark records.
+
+    ``idle_read_seconds`` are read latencies against a quiet server,
+    ``loaded_read_seconds`` the same reads with the continuous ingest
+    stream running — their p99 ratio is the record's headline: how much
+    ingest is allowed to hurt readers (the atomic-swap design bounds it;
+    ``benchmarks/test_serving.py`` asserts the ≤5× acceptance floor in
+    full mode).  ``read_wall_seconds`` / ``ingest_wall_seconds`` are the
+    wall-clock of the loaded phase (reads and ingest overlap, so
+    reads/sec and papers/sec are both against their own wall), and
+    ``n_swaps`` counts the view generations the run published.
+    """
+    idle = latency_summary(idle_read_seconds)
+    loaded = latency_summary(loaded_read_seconds)
+    out: dict[str, Any] = {"n_swaps": int(n_swaps)}
+    for prefix, summary in (("idle_read", idle), ("loaded_read", loaded)):
+        out[f"n_{prefix}s"] = summary["n"]
+        for key in ("mean_ms", "p50_ms", "p90_ms", "p99_ms"):
+            out[f"{prefix}_{key}"] = summary[key]
+    out["reads_per_sec"] = round(
+        loaded["n"] / read_wall_seconds, 1
+    ) if read_wall_seconds > 0 else 0.0
+    out["papers_per_sec"] = round(
+        n_ingested_papers / ingest_wall_seconds, 2
+    ) if ingest_wall_seconds > 0 else 0.0
+    out["n_ingested_papers"] = int(n_ingested_papers)
+    idle_p99 = idle["p99_ms"]
+    out["read_p99_ratio_loaded_vs_idle"] = round(
+        loaded["p99_ms"] / idle_p99, 3
+    ) if idle_p99 > 0 else 0.0
+    return out
+
+
 def snapshot_summary(
     stages: Mapping[str, float], n_papers: int, sizes: Mapping[str, int]
 ) -> dict[str, Any]:

@@ -216,6 +216,30 @@ class CollaborationNetwork:
         """Ids of all vertices carrying ``name`` (Stage-2 candidates)."""
         return list(self._by_name.get(name, ()))
 
+    def owner_of(
+        self, pid: int, position: int, name: str | None = None
+    ) -> int | None:
+        """The vertex owning mention ``(pid, position)`` — the who-is query.
+
+        With ``name`` the search is confined to that name's vertices (the
+        name index makes it cheap, and a mention can only ever be owned by
+        a vertex of its own name); without it every vertex is scanned.
+        Returns ``None`` when nobody owns the occurrence — possible for
+        hand-built networks without mention payloads, or for a position
+        that never existed.  This is the one query path shared by the
+        incremental duplicate replay
+        (:meth:`~repro.core.incremental.IncrementalDisambiguator.add_paper`
+        under ``duplicate_paper_policy="return"``) and the serving layer's
+        :class:`~repro.service.FittedView` projection builder.
+        """
+        vids: Iterable[int] = (
+            self._by_name.get(name, ()) if name is not None else self._vertices
+        )
+        for vid in vids:
+            if self._vertices[vid].mentions.get(pid) == position:
+                return vid
+        return None
+
     @property
     def names(self) -> list[str]:
         return list(self._by_name)

@@ -10,6 +10,9 @@ Public surface:
 * :func:`~repro.io.snapshot.snapshot_of` — capture a fitted estimator;
 * :func:`~repro.io.snapshot.verify_snapshot` — the invariant sweep behind
   ``tools/snapshot.py verify``;
+* :func:`~repro.io.snapshot.snapshot_header` — validated machine-readable
+  header without a full decode (``tools/snapshot.py inspect --json`` and
+  the ``tools/serve.py`` warm-start validation);
 * :data:`~repro.io.backends.BACKENDS` /
   :func:`~repro.io.backends.resolve_backend` — the interchangeable JSONL
   and SQLite storage backends;
@@ -21,7 +24,13 @@ and the atomicity contract.
 
 from .backends import BACKENDS, read_document, resolve_backend, write_document
 from .schema import FORMAT_NAME, SCHEMA_VERSION
-from .snapshot import Snapshot, ShardingState, snapshot_of, verify_snapshot
+from .snapshot import (
+    Snapshot,
+    ShardingState,
+    snapshot_header,
+    snapshot_of,
+    verify_snapshot,
+)
 
 __all__ = [
     "BACKENDS",
@@ -31,6 +40,7 @@ __all__ = [
     "Snapshot",
     "read_document",
     "resolve_backend",
+    "snapshot_header",
     "snapshot_of",
     "verify_snapshot",
     "write_document",

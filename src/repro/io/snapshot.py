@@ -407,6 +407,124 @@ def _decode_stream(payload: Mapping[str, Any]) -> IncrementalReport:
 
 
 # --------------------------------------------------------------------- #
+# header inspection (library core of ``tools/snapshot.py inspect``)
+# --------------------------------------------------------------------- #
+def snapshot_header(path: str | Path, backend: str | None = None) -> dict:
+    """Validated, machine-readable snapshot header — without a full decode.
+
+    Reads the document (no fitted objects are materialised) and
+    cross-checks the header against the tables it describes: format
+    name, schema version range, count fields vs actual table lengths.
+    Every corruption mode raises :class:`ValueError` with a one-line
+    message — the CLI (``tools/snapshot.py inspect --json``) and the
+    serve CLI turn that into a non-zero exit instead of a traceback.
+
+    The returned dict is JSON-ready::
+
+        {"path", "backend", "bytes", "format", "version", "kind",
+         "n_papers", "n_vertices", "n_edges", "has_scn", "has_stream",
+         "has_embeddings", "sharding": {...} | None, "stream": {...} | None}
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValueError(f"{path}: no such file")
+    try:
+        resolved = backends.resolve_backend(path, backend)
+        document = backends.read_document(path, backend)
+    except ValueError:
+        raise
+    except Exception as exc:
+        raise ValueError(f"{path}: unreadable snapshot ({exc})") from exc
+    if not isinstance(document, Mapping):
+        raise ValueError(f"{path}: snapshot document is not an object")
+    meta = document.get("meta")
+    tables = document.get("tables")
+    sections = document.get("sections")
+    if not isinstance(meta, Mapping) or not isinstance(tables, Mapping) \
+            or not isinstance(sections, Mapping):
+        raise ValueError(
+            f"{path}: snapshot document lacks meta/sections/tables"
+        )
+    if meta.get("format") != schema.FORMAT_NAME:
+        raise ValueError(
+            f"{path}: not a repro snapshot "
+            f"(meta.format={meta.get('format')!r})"
+        )
+    try:
+        version = int(meta.get("version", 0))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{path}: non-integer schema version {meta.get('version')!r}"
+        ) from None
+    if version < 1 or version > schema.SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema version {version} "
+            f"(this build reads 1..{schema.SCHEMA_VERSION})"
+        )
+    header: dict = {
+        "path": str(path),
+        "backend": resolved.name,
+        "bytes": path.stat().st_size,
+        "format": meta["format"],
+        "version": version,
+        "kind": meta.get("kind", "iuad"),
+    }
+    for key, table in (
+        ("n_papers", "papers"),
+        ("n_vertices", "gcn_vertices"),
+    ):
+        declared = meta.get(key if key != "n_vertices" else "n_gcn_vertices")
+        actual = tables.get(table)
+        if not isinstance(actual, list):
+            raise ValueError(f"{path}: missing table {table!r}")
+        if declared is not None and int(declared) != len(actual):
+            raise ValueError(
+                f"{path}: header claims {declared} {table} rows, "
+                f"the table holds {len(actual)}"
+            )
+        header[key] = len(actual)
+    header["n_edges"] = len(tables.get("gcn_edges", []))
+    gcn_meta = sections.get("gcn_meta")
+    if not isinstance(gcn_meta, Mapping) or "next_vid" not in gcn_meta:
+        raise ValueError(f"{path}: gcn_meta section is missing or incomplete")
+    header["next_vid"] = int(gcn_meta["next_vid"])
+    header["has_scn"] = "scn_meta" in sections
+    header["has_stream"] = "stream" in sections
+    header["has_embeddings"] = bool(tables.get("embedding_rows"))
+    sharding = sections.get("sharding")
+    if sharding is not None:
+        try:
+            plan = sharding.get("plan")
+            header["sharding"] = {
+                "n_shards": len(plan["shards"]) if plan else 0,
+                "routed_names": len(sharding["index"]["name_to_shard"]),
+                "n_bridges": int(sharding["index"]["n_bridges"]),
+                "n_cannot_links": len(sharding["cannot_links"]),
+            }
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"{path}: malformed sharding section ({exc!r})"
+            ) from None
+    else:
+        header["sharding"] = None
+    stream = sections.get("stream")
+    if stream is not None:
+        try:
+            header["stream"] = {
+                key: int(stream[key])
+                for key in ("n_papers", "n_mentions", "n_attached",
+                            "n_created", "n_duplicates")
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{path}: malformed stream section ({exc!r})"
+            ) from None
+    else:
+        header["stream"] = None
+    return header
+
+
+# --------------------------------------------------------------------- #
 # verification (library core of ``tools/snapshot.py verify``)
 # --------------------------------------------------------------------- #
 def verify_snapshot(snapshot: Snapshot) -> list[str]:

@@ -1,0 +1,44 @@
+"""Disambiguation-as-a-service: reader/writer split with atomic swaps.
+
+The serving layer of the reproduction (see ``docs/architecture.md``,
+"Serving layer"):
+
+* :class:`~repro.service.view.FittedView` — an immutable, hashable
+  projection of the fitted state with pure query methods
+  (``who_is`` / ``resolve`` / ``cluster_of``) that never touch writer
+  state;
+* :class:`~repro.service.engine.Engine` — ONE writer
+  (:class:`~repro.core.streaming.StreamingIngestor`) behind an asyncio
+  queue, bursts coalesced off-loop, a fresh view published per burst via
+  a single atomic reference swap (generation counter + swap timestamp
+  for staleness-aware clients);
+* :class:`~repro.service.http.ServiceServer` — the stdlib-asyncio HTTP
+  front-end (``POST /ingest``, ``GET /who-is``, ``GET /resolve``,
+  ``GET /healthz``, ``GET /stats``, …) started by ``tools/serve.py``.
+
+Readers never block on ingest: ``benchmarks/test_serving.py`` drives a
+mixed read/ingest workload against a subprocess server and records the
+p50/p90/p99 evidence to ``BENCH_serving.json``.
+"""
+
+from .engine import Engine, EngineStats, IngestResult
+from .http import ServiceServer
+from .view import (
+    FittedView,
+    cluster_of_in,
+    prior_assignments_in,
+    resolve_in,
+    who_is_in,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "FittedView",
+    "IngestResult",
+    "ServiceServer",
+    "cluster_of_in",
+    "prior_assignments_in",
+    "resolve_in",
+    "who_is_in",
+]

@@ -93,9 +93,6 @@ KNOWN_FUTURE_ARTIFACTS = {
     # machines; the README documents it as the upgrade path over the
     # committed BENCH_sharding.quick.json record.
     "BENCH_sharding.json",
-    # Named by the ROADMAP's serving-layer open item as the record its
-    # load-test harness will produce; exists once that item ships.
-    "BENCH_serving.json",
 }
 
 

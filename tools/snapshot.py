@@ -4,11 +4,17 @@
 Run from the repo root (or anywhere with ``repro`` importable)::
 
     python tools/snapshot.py inspect  fitted.jsonl
+    python tools/snapshot.py inspect  fitted.jsonl --json
     python tools/snapshot.py convert  fitted.jsonl fitted.sqlite
     python tools/snapshot.py verify   fitted.sqlite
 
 * ``inspect`` — header, counts and stream counters, without fully
-  materialising the fitted objects (reads the document only);
+  materialising the fitted objects (reads the document only).
+  ``--json`` emits the validated machine-readable header
+  (:func:`repro.io.snapshot_header`) for scripting — the serve CLI and
+  the CI serving-smoke job use it to sanity-check a snapshot before a
+  full decode.  Corrupt or non-snapshot files exit 1 with a one-line
+  error, never a traceback;
 * ``convert`` — re-write a snapshot in the other backend (the payload is
   backend-neutral, so conversion is lossless in both directions);
 * ``verify`` — fully decode the snapshot and run the structural
@@ -20,6 +26,7 @@ Run from the repo root (or anywhere with ``repro`` importable)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -30,6 +37,7 @@ from repro.io import (  # noqa: E402 (path setup above)
     Snapshot,
     read_document,
     resolve_backend,
+    snapshot_header,
     verify_snapshot,
     write_document,
 )
@@ -37,21 +45,25 @@ from repro.io import (  # noqa: E402 (path setup above)
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     path = Path(args.path)
-    backend = resolve_backend(path)
-    document = read_document(path)
-    meta = document["meta"]
-    if meta.get("format") != "repro-snapshot":
-        print(
-            f"inspect: {path} is not a repro snapshot "
-            f"(meta.format={meta.get('format')!r})",
-            file=sys.stderr,
-        )
+    # Header validation first: every corruption mode (missing file, bad
+    # magic, truncated tables, version drift) becomes a one-line error
+    # and exit code 1 — machine consumers never have to parse tracebacks.
+    try:
+        header = snapshot_header(path)
+    except ValueError as exc:
+        print(f"inspect: {exc}", file=sys.stderr)
         return 1
+    if args.json:
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+    document = read_document(path)
     sections = document["sections"]
     tables = document["tables"]
-    print(f"snapshot   {path} ({backend.name}, {path.stat().st_size} bytes)")
-    print(f"format     {meta.get('format')} v{meta.get('version')}")
-    print(f"kind       {meta.get('kind')}")
+    print(
+        f"snapshot   {path} ({header['backend']}, {header['bytes']} bytes)"
+    )
+    print(f"format     {header['format']} v{header['version']}")
+    print(f"kind       {header['kind']}")
     print(f"papers     {len(tables.get('papers', []))}")
     print(
         f"gcn        {len(tables.get('gcn_vertices', []))} vertices / "
@@ -110,7 +122,11 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    snapshot = Snapshot.load(args.path)
+    try:
+        snapshot = Snapshot.load(args.path)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 1
     errors = verify_snapshot(snapshot)
     for error in errors:
         print(f"verify: {error}", file=sys.stderr)
@@ -134,6 +150,10 @@ def main(argv: list[str] | None = None) -> int:
 
     p_inspect = sub.add_parser("inspect", help="print header and counts")
     p_inspect.add_argument("path")
+    p_inspect.add_argument(
+        "--json", action="store_true",
+        help="emit the validated machine-readable header as JSON",
+    )
     p_inspect.set_defaults(func=cmd_inspect)
 
     p_convert = sub.add_parser("convert", help="re-write in another backend")
