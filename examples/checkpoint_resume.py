@@ -2,12 +2,14 @@
 """Durable snapshots & warm-start resume: fit once, restart freely.
 
 Fits the GCN on older papers, streams half of the held-out "new" papers
-with periodic checkpoints, then simulates a process restart: the
-ingestor is rebuilt **from the checkpoint file alone**
-(``StreamingIngestor.resume`` — nothing is replayed, nothing refitted)
-and streams the rest.  The final network is cross-checked against an
-uninterrupted run — identical vertices, mentions, edges and counters —
-and the snapshot is converted between the JSONL and SQLite backends.
+with periodic **delta checkpoints** (``checkpoint_mode="delta"``: one
+base snapshot, then O(burst) records appended to a ``.delta`` sibling
+log), then simulates a process restart: the ingestor is rebuilt **from
+the base + chain alone** (``StreamingIngestor.resume``) and streams the
+rest, extending the same chain.  The final network is cross-checked
+against an uninterrupted run — identical vertices, mentions, edges and
+counters — the chain is folded back into the base (compaction), and the
+snapshot is converted between the JSONL and SQLite adapters.
 
 Run:  python examples/checkpoint_resume.py
 """
@@ -20,7 +22,7 @@ from pathlib import Path
 from repro.core import IUAD, IUADConfig, StreamingIngestor
 from repro.data import Corpus, build_testing_dataset, generate_world
 from repro.data.testing import split_for_incremental
-from repro.io import Snapshot, read_document, verify_snapshot
+from repro.io import Snapshot, delta_log_path, read_document, verify_snapshot
 
 
 def main() -> None:
@@ -35,10 +37,12 @@ def main() -> None:
     half = len(stream_papers) // 2
 
     # checkpoint_every_n_papers makes durability automatic: every 50
-    # freshly ingested papers, the full fitted state hits disk atomically.
-    iuad = IUAD(IUADConfig(checkpoint_every_n_papers=50)).fit(
-        base_corpus, names=testing.names
-    )
+    # freshly ingested papers a checkpoint hits disk — and in delta mode
+    # only the *first* one is a full O(corpus) snapshot; every later one
+    # appends an O(burst) replayable record to the .delta chain log.
+    iuad = IUAD(
+        IUADConfig(checkpoint_every_n_papers=50, checkpoint_mode="delta")
+    ).fit(base_corpus, names=testing.names)
     reference = copy.deepcopy(iuad)  # for the uninterrupted cross-check
 
     workdir = Path(tempfile.mkdtemp(prefix="iuad_checkpoint_"))
@@ -47,20 +51,28 @@ def main() -> None:
     ingestor = StreamingIngestor(iuad, checkpoint_path=checkpoint)
     ingestor.add_papers(stream_papers[:half])
     ingestor.checkpoint()  # explicit final checkpoint before "the crash"
+    log = delta_log_path(checkpoint)
     print(
-        f"ingested {ingestor.report.n_papers} papers, checkpointed to "
-        f"{checkpoint} ({checkpoint.stat().st_size} bytes)"
+        f"ingested {ingestor.report.n_papers} papers: base "
+        f"{checkpoint.stat().st_size} B + {ingestor.delta_chain_length} "
+        f"delta records ({log.stat().st_size} B appended, not rewritten)"
     )
 
-    # ---- simulated restart: a fresh ingestor from the file alone ------ #
+    # ---- simulated restart: base + chain replayed from disk alone ----- #
     t0 = time.perf_counter()
     resumed = StreamingIngestor.resume(checkpoint)
     print(
         f"warm start in {time.perf_counter() - t0:.2f}s — "
         f"{resumed.report.n_papers} papers of stream state restored, "
-        "0 papers replayed"
+        f"{resumed.delta_chain_length} delta records replayed"
     )
     resumed.add_papers(stream_papers[half:])
+    resumed.checkpoint()  # keeps extending the same chain
+
+    # a full checkpoint to the base path folds the chain (compaction)
+    resumed.checkpoint(mode="full")
+    assert resumed.delta_chain_length == 0 and log.stat().st_size == 0
+    print(f"compacted: chain folded back into {checkpoint.name}")
 
     # ---- cross-check against the uninterrupted run -------------------- #
     uninterrupted = StreamingIngestor(reference)
@@ -76,9 +88,9 @@ def main() -> None:
         "uninterrupted run"
     )
 
-    # ---- backends are interchangeable --------------------------------- #
+    # ---- adapters are interchangeable --------------------------------- #
     final = workdir / "final.jsonl"
-    resumed.checkpoint(final)
+    resumed.checkpoint(final, mode="full")  # side snapshot, chain untouched
     sqlite_twin = workdir / "final.sqlite"
     Snapshot.load(final).save(sqlite_twin, backend="sqlite")
     assert read_document(final) == read_document(sqlite_twin)

@@ -108,6 +108,18 @@ class IUADConfig:
             (atomic tmp+fsync+rename, see :mod:`repro.io`).  ``0``
             (default) disables auto-checkpointing; explicit
             ``checkpoint()`` calls work either way.
+        checkpoint_mode: What a streaming checkpoint writes.  ``"full"``
+            (default) rewrites the complete snapshot every time —
+            O(corpus) per checkpoint.  ``"delta"`` writes the base
+            snapshot once and then appends O(burst) replayable records
+            to a ``<path>.delta`` sibling log (see
+            :mod:`repro.io.delta`); restore replays base + chain to the
+            byte-identical state.
+        compact_every_n_deltas: In delta mode, fold the chain back into
+            the base after this many appended records (bounding restore
+            cost and log growth).  ``0`` disables automatic compaction;
+            ``tools/snapshot.py compact`` is always available.  Default
+            64.
     """
 
     eta: int = 2
@@ -137,6 +149,8 @@ class IUADConfig:
     duplicate_paper_policy: str = "raise"
     incremental_timing_window: int = 4096
     checkpoint_every_n_papers: int = 0
+    checkpoint_mode: str = "full"
+    compact_every_n_deltas: int = 64
 
     def __post_init__(self) -> None:
         if self.eta < 1:
@@ -157,6 +171,16 @@ class IUADConfig:
             raise ValueError(
                 "checkpoint_every_n_papers must be >= 0, got "
                 f"{self.checkpoint_every_n_papers}"
+            )
+        if self.checkpoint_mode not in ("full", "delta"):
+            raise ValueError(
+                "checkpoint_mode must be 'full' or 'delta', got "
+                f"{self.checkpoint_mode!r}"
+            )
+        if self.compact_every_n_deltas < 0:
+            raise ValueError(
+                "compact_every_n_deltas must be >= 0, got "
+                f"{self.compact_every_n_deltas}"
             )
         if self.max_shard_size < 0:
             raise ValueError(

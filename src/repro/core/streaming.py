@@ -169,6 +169,19 @@ class StreamingIngestor(IncrementalDisambiguator):
     checkpointed paper, so the continuation is exactly the uninterrupted
     stream (``tests/test_snapshot_parity.py``).
 
+    Checkpoint *modes* (``config.checkpoint_mode`` or the ``mode=``
+    argument): ``"full"`` rewrites the complete snapshot — O(corpus) per
+    checkpoint; ``"delta"`` writes the base once, then each checkpoint
+    appends an O(burst) replayable record (the papers and assignment
+    decisions since the previous checkpoint — journaled as they happen,
+    no re-derivation) to a ``<path>.delta`` sibling log
+    (:mod:`repro.io.delta`).  :meth:`resume` replays base + chain to the
+    byte-identical state, and the chain keeps extending across resumes.
+    Every ``config.compact_every_n_deltas`` appends the chain is folded
+    back into the base; a *full* checkpoint to the base path does the
+    same fold explicitly, while a full checkpoint to any other path is a
+    side snapshot that leaves the chain untouched.
+
     Thread safety: a writer lock serializes :meth:`add_paper`,
     :meth:`add_papers` and :meth:`checkpoint`, so a checkpoint requested
     from another thread while bursts are running (the serving layer's
@@ -197,35 +210,155 @@ class StreamingIngestor(IncrementalDisambiguator):
         # Re-entrant: add_papers -> _maybe_checkpoint -> checkpoint
         # re-acquires while the burst still holds the write side.
         self._write_lock = threading.RLock()
+        # Delta-chain state: the journal collects (paper, decisions)
+        # pairs as ingestion happens — a delta checkpoint drains it into
+        # one appended record.  Armed up front in delta mode (or by the
+        # first explicit delta checkpoint).
+        self._journal: list[tuple[Paper, list[tuple[int, bool]]]] = []
+        self._journal_armed = iuad.config.checkpoint_mode == "delta"
+        self._delta_seq = 0
+        self._delta_base_fp: str | None = None
+        self._delta_base_path: Path | None = None
+        self._delta_chain_len = 0
+
+    @property
+    def delta_chain_length(self) -> int:
+        """Appended (un-compacted) delta records of the live chain."""
+        return self._delta_chain_len
+
+    def set_checkpoint_mode(self, mode: str) -> None:
+        """Override ``config.checkpoint_mode`` on the live ingestor.
+
+        Switching to ``"delta"`` arms the journal immediately, so every
+        paper from this moment on is replayable; papers ingested before
+        the switch are covered by the base the first delta checkpoint
+        writes.
+        """
+        if mode not in ("full", "delta"):
+            raise ValueError(
+                f"checkpoint mode must be 'full' or 'delta', got {mode!r}"
+            )
+        with self._write_lock:
+            self.iuad.config.checkpoint_mode = mode
+            if mode == "delta":
+                self._journal_armed = True
 
     # ------------------------------------------------------------------ #
     # durable checkpoints & warm-start resume
     # ------------------------------------------------------------------ #
     def checkpoint(
-        self, path: str | Path | None = None, backend: str | None = None
+        self,
+        path: str | Path | None = None,
+        backend: str | None = None,
+        mode: str | None = None,
     ) -> Path:
-        """Write a durable snapshot of the current state, atomically.
+        """Write a durable checkpoint of the current state, atomically.
 
-        The snapshot carries the fitted estimator *and* this ingestor's
+        The checkpoint carries the fitted estimator *and* this ingestor's
         report counters, so a :meth:`resume` continues both.  ``path`` /
-        ``backend`` default to the constructor's checkpoint target.  A
-        crash mid-write can never corrupt the previous checkpoint: the
-        document goes to a ``.tmp`` sibling first and is renamed over
-        the destination only after an fsync.
-        """
-        from ..io.snapshot import snapshot_of
+        ``backend`` default to the constructor's checkpoint target;
+        ``mode`` defaults to ``config.checkpoint_mode``.
 
+        ``mode="full"`` rewrites the whole snapshot (a crash mid-write
+        can never corrupt the previous checkpoint: tmp sibling + fsync +
+        atomic rename).  To the live chain's base path it doubles as
+        **compaction** — the chain is folded in and the log truncated.
+
+        ``mode="delta"`` writes the base on first use, then appends one
+        O(changes-since-last-checkpoint) record to ``<path>.delta``
+        (durable: write + fsync).  The chain is pinned to one base path;
+        auto-compaction folds it after
+        ``config.compact_every_n_deltas`` appends.
+        """
         target = Path(path) if path is not None else self.checkpoint_path
         if target is None:
             raise ValueError(
                 "no checkpoint path: pass one here or to the constructor"
             )
-        with self._write_lock:
-            snapshot_of(self.iuad, stream=self.report).save(
-                target, backend=backend or self.checkpoint_backend
+        mode = mode if mode is not None else self.iuad.config.checkpoint_mode
+        if mode not in ("full", "delta"):
+            raise ValueError(
+                f"checkpoint mode must be 'full' or 'delta', got {mode!r}"
             )
+        backend = backend or self.checkpoint_backend
+        with self._write_lock:
+            if mode == "delta":
+                self._checkpoint_delta(target, backend)
+            else:
+                self._checkpoint_full(target, backend)
             self._papers_since_checkpoint = 0
         return target
+
+    def _checkpoint_full(self, target: Path, backend: str | None) -> None:
+        from ..io import backends as io_backends
+        from ..io import delta as delta_chain
+        from ..io.snapshot import snapshot_of
+
+        snapshot = snapshot_of(self.iuad, stream=self.report)
+        if self._delta_base_path is not None and target == self._delta_base_path:
+            # Full write over the chain's base = compaction: the new base
+            # subsumes every appended record (watermark delta_seq), lands
+            # atomically, and only then is the log truncated — a crash in
+            # between leaves a log of records the base already skips.
+            snapshot.delta_seq = self._delta_seq
+            document = snapshot.to_document()
+            io_backends.write_document(document, target, backend)
+            self._delta_base_fp = delta_chain.document_fingerprint(document)
+            self._delta_chain_len = 0
+            self._journal.clear()
+            log_path = delta_chain.delta_log_path(target)
+            if log_path.exists():
+                delta_chain.truncate_log(log_path)
+        else:
+            # Side snapshot (or no chain at all): the chain, the journal
+            # and the watermark are untouched.
+            snapshot.save(target, backend=backend)
+
+    def _checkpoint_delta(self, target: Path, backend: str | None) -> None:
+        from ..io import backends as io_backends
+        from ..io import delta as delta_chain
+        from ..io.snapshot import _encode_stream, snapshot_of
+
+        if self._delta_base_path is not None and target != self._delta_base_path:
+            raise ValueError(
+                f"delta checkpoints extend the chain at "
+                f"{self._delta_base_path}; cannot append to {target} "
+                "(write a full checkpoint there instead)"
+            )
+        self._journal_armed = True
+        if self._delta_base_fp is None:
+            # First delta checkpoint: establish the base (O(corpus), once).
+            snapshot = snapshot_of(self.iuad, stream=self.report)
+            snapshot.delta_seq = self._delta_seq
+            document = snapshot.to_document()
+            io_backends.write_document(document, target, backend)
+            self._delta_base_fp = delta_chain.document_fingerprint(document)
+            self._delta_base_path = Path(target)
+            self._delta_chain_len = 0
+            # Everything journaled so far is inside the base; a stale log
+            # from an earlier run must not pollute the new chain.
+            self._journal.clear()
+            log_path = delta_chain.delta_log_path(target)
+            if log_path.exists():
+                delta_chain.truncate_log(log_path)
+            return
+        papers, assignments = delta_chain.encode_changes(self._journal)
+        self._delta_seq += 1
+        record = delta_chain.DeltaRecord(
+            seq=self._delta_seq,
+            base=self._delta_base_fp,
+            papers=papers,
+            assignments=assignments,
+            stream=_encode_stream(self.report),
+        )
+        delta_chain.append_record(delta_chain.delta_log_path(target), record)
+        self._journal.clear()
+        self._delta_chain_len += 1
+        every = self.iuad.config.compact_every_n_deltas
+        if every > 0 and self._delta_chain_len >= every:
+            # In-memory compaction: the live state IS base + chain, so
+            # folding costs one full write, no replay.
+            self._checkpoint_full(target, backend)
 
     @classmethod
     def resume(
@@ -234,16 +367,34 @@ class StreamingIngestor(IncrementalDisambiguator):
         backend: str | None = None,
         checkpoint_path: str | Path | None = None,
     ) -> "StreamingIngestor":
-        """Warm-start an ingestor from a snapshot; replays nothing.
+        """Warm-start an ingestor from a snapshot; re-scores nothing.
 
         Restores the estimator (plain or sharded — the snapshot decides)
         and, when the snapshot was written by :meth:`checkpoint`, the
-        stream counters.  Future auto-checkpoints go back to the same
-        file unless ``checkpoint_path`` overrides it.
+        stream counters.  A delta chain riding next to the base
+        (``<path>.delta``) is validated and replayed — recorded
+        decisions only, no similarity is recomputed — and the resumed
+        ingestor keeps extending that same chain.  Future
+        auto-checkpoints go back to the same file unless
+        ``checkpoint_path`` overrides it.
         """
+        from ..io import backends as io_backends
+        from ..io import delta as delta_chain
         from ..io.snapshot import Snapshot
 
-        snapshot = Snapshot.load(path, backend=backend)
+        document = io_backends.read_document(path, backend)
+        snapshot = Snapshot.from_document(document)
+        log_path = delta_chain.delta_log_path(path)
+        fingerprint: str | None = None
+        records: list[delta_chain.DeltaRecord] = []
+        if log_path.exists() or snapshot.config.checkpoint_mode == "delta":
+            fingerprint = delta_chain.document_fingerprint(document)
+        if log_path.exists():
+            records = delta_chain.read_chain(
+                log_path, snapshot.delta_seq, fingerprint
+            )
+            for record in records:
+                delta_chain.replay_record(snapshot, record)
         ingestor = cls(
             snapshot.restore(),
             checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
@@ -251,12 +402,30 @@ class StreamingIngestor(IncrementalDisambiguator):
         )
         if snapshot.stream is not None:
             ingestor.report = snapshot.stream
+        if fingerprint is not None and ingestor.checkpoint_path == Path(path):
+            # Continue the chain where it left off: the next append is
+            # contiguous with the replayed tail (or the base watermark).
+            # A checkpoint_path override starts a fresh chain there
+            # instead (its first delta checkpoint writes a new base).
+            ingestor._delta_base_fp = fingerprint
+            ingestor._delta_base_path = Path(path)
+            ingestor._delta_seq = (
+                records[-1].seq if records else snapshot.delta_seq
+            )
+            ingestor._delta_chain_len = len(records)
+            ingestor._journal_armed = True
         return ingestor
 
     def add_paper(self, paper: Paper):  # inherits the full docstring
         with self._write_lock:
             before = self.report.n_papers
             assignments = super().add_paper(paper)
+            if self._journal_armed and self.report.n_papers > before:
+                # Duplicates (policy "return") mutate nothing — only a
+                # genuinely ingested paper becomes a replayable decision.
+                self._journal.append(
+                    (paper, [(a.vid, a.created) for a in assignments])
+                )
             self._maybe_checkpoint(self.report.n_papers - before)
         return assignments
 
@@ -452,6 +621,10 @@ class StreamingIngestor(IncrementalDisambiguator):
             else:
                 stained.update(a.vid for a in assignments if not a.created)
             results[index] = assignments
+            if self._journal_armed:
+                self._journal.append(
+                    (paper, [(a.vid, a.created) for a in assignments])
+                )
             self.report.n_papers += 1
             self.report.n_mentions += len(assignments)
         apply_seconds = time.perf_counter() - t_walk

@@ -1,4 +1,4 @@
-"""Durable snapshots & warm-start resume: multi-backend persistence.
+"""Durable snapshots & warm-start resume: multi-adapter persistence.
 
 Public surface:
 
@@ -6,23 +6,41 @@ Public surface:
   state (networks, model, embeddings, frequency tables, corpus, config,
   sharding, streaming counters) with :meth:`~repro.io.snapshot.Snapshot.save`
   / :meth:`~repro.io.snapshot.Snapshot.load` /
+  :meth:`~repro.io.snapshot.Snapshot.load_chain` /
   :meth:`~repro.io.snapshot.Snapshot.restore`;
 * :func:`~repro.io.snapshot.snapshot_of` — capture a fitted estimator;
 * :func:`~repro.io.snapshot.verify_snapshot` — the invariant sweep behind
   ``tools/snapshot.py verify``;
 * :func:`~repro.io.snapshot.snapshot_header` — validated machine-readable
   header without a full decode (``tools/snapshot.py inspect --json`` and
-  the ``tools/serve.py`` warm-start validation);
-* :data:`~repro.io.backends.BACKENDS` /
-  :func:`~repro.io.backends.resolve_backend` — the interchangeable JSONL
-  and SQLite storage backends;
+  the ``tools/serve.py`` warm-start validation), delta-chain aware;
+* the **adapter registry** (:mod:`repro.io.adapters`) —
+  :func:`~repro.io.adapters.register_adapter` /
+  :func:`~repro.io.adapters.resolve_adapter` /
+  :func:`~repro.io.adapters.list_adapters` over the bundled JSONL and
+  SQLite drivers (``BACKENDS`` / ``resolve_backend`` remain as aliases);
+* **delta chains** (:mod:`repro.io.delta`) — append-only O(changes)
+  checkpoints replayed on top of a base snapshot, with compaction;
+* **point queries** (:mod:`repro.io.query`) —
+  :class:`~repro.io.query.SnapshotQuery` answers ``who_is`` /
+  ``owner_of`` straight off the snapshot file (indexed SQL when the
+  adapter supports it) without materialising fitted state;
 * :data:`~repro.io.schema.SCHEMA_VERSION` — the document version.
 
-See ``docs/architecture.md`` ("Persistence & warm start") for the format
-and the atomicity contract.
+See ``docs/architecture.md`` ("Persistence & warm start") for the format,
+the atomicity contract and the delta-chain design.
 """
 
+from .adapters import (
+    ADAPTERS,
+    SnapshotAdapter,
+    list_adapters,
+    register_adapter,
+    resolve_adapter,
+)
 from .backends import BACKENDS, read_document, resolve_backend, write_document
+from .delta import compact_chain, delta_log_path
+from .query import SnapshotQuery
 from .schema import FORMAT_NAME, SCHEMA_VERSION
 from .snapshot import (
     Snapshot,
@@ -33,12 +51,20 @@ from .snapshot import (
 )
 
 __all__ = [
+    "ADAPTERS",
     "BACKENDS",
     "FORMAT_NAME",
     "SCHEMA_VERSION",
     "ShardingState",
     "Snapshot",
+    "SnapshotAdapter",
+    "SnapshotQuery",
+    "compact_chain",
+    "delta_log_path",
+    "list_adapters",
     "read_document",
+    "register_adapter",
+    "resolve_adapter",
     "resolve_backend",
     "snapshot_header",
     "snapshot_of",

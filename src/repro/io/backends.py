@@ -1,314 +1,39 @@
-"""Snapshot storage backends: JSONL and SQLite behind one document shape.
+"""Compatibility shim over :mod:`repro.io.adapters`.
 
-Both backends persist the same document (see :mod:`.schema`) and are
-freely interchangeable — ``tools/snapshot.py convert`` moves a snapshot
-between them without touching the payload:
+The JSONL/SQLite storage backends moved into the persistence adapter
+registry (``repro.io.adapters`` — one document shape, N drivers, plus
+byte-sniffed resolution and the tmp+fsync+rename atomicity contract,
+all unchanged).  This module keeps the historical import surface alive:
 
-* **JSONL** — one JSON object per line: human-diffable, appends stream,
-  ``grep``/``jq`` friendly.  The natural format for committed fixtures
-  and for eyeballing what a checkpoint actually contains.
-* **SQLite** — a single queryable file: bulk rows land in real tables
-  (``papers``, ``vertices``, ``edges``, ``embedding_rows``) so ad-hoc
-  SQL works on a fitted snapshot, and the whole write is one
-  transaction.
+* :data:`BACKENDS` — live read-only view of the adapter registry;
+* :func:`resolve_backend` — alias of
+  :func:`repro.io.adapters.resolve_adapter`;
+* :func:`read_document` / :func:`write_document` — the document I/O
+  entry points (same atomicity semantics, same signatures).
 
-Atomicity contract
-------------------
-
-:func:`write_document` never exposes a half-written snapshot: the
-document is written to ``<name>.tmp`` in the target directory, flushed
-and fsynced, then atomically renamed over the destination
-(``os.replace``).  A crash mid-write leaves at worst a stale ``.tmp``
-next to an intact previous snapshot; the next write unlinks it.
-:func:`read_document` never looks at ``.tmp`` files.
+New code should import from :mod:`repro.io.adapters` (or the
+:mod:`repro.io` package root) directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import sqlite3
-from pathlib import Path
-from typing import Any
+import os  # noqa: F401  (monkeypatch surface of the crash-window tests)
 
-#: Magic prefix of every SQLite database file.
-_SQLITE_MAGIC = b"SQLite format 3\x00"
+from .adapters import (
+    ADAPTERS as BACKENDS,
+    read_document,
+    resolve_adapter as resolve_backend,
+    write_document,
+)
+from .adapters.jsonl import JsonlAdapter as JsonlBackend
+from .adapters.sqlite import SQLITE_MAGIC as _SQLITE_MAGIC  # noqa: F401
+from .adapters.sqlite import SqliteAdapter as SqliteBackend
 
-#: Path suffixes that select the SQLite backend when writing a fresh file.
-_SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
-
-#: Bulk tables with first-class SQLite columns; everything else in the
-#: document's ``tables`` mapping is rejected (schema and backends move in
-#: lock-step — an unknown table means a version skew, not data to guess at).
-_TABLES = ("papers", "gcn_vertices", "gcn_edges", "scn_vertices", "scn_edges",
-           "embedding_rows")
-
-
-class JsonlBackend:
-    """One JSON object per line: ``meta`` first, then sections, then rows."""
-
-    name = "jsonl"
-
-    def write(self, document: dict[str, Any], path: Path) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(_line({"meta": document["meta"]}))
-            for name, payload in document["sections"].items():
-                fh.write(_line({"section": name, "payload": payload}))
-            for name, rows in document["tables"].items():
-                for row in rows:
-                    fh.write(_line({"table": name, "row": row}))
-            fh.flush()
-            os.fsync(fh.fileno())
-
-    def read(self, path: Path) -> dict[str, Any]:
-        meta: dict[str, Any] | None = None
-        sections: dict[str, Any] = {}
-        tables: dict[str, list[Any]] = {}
-        with open(path, "r", encoding="utf-8") as fh:
-            for lineno, raw in enumerate(fh, 1):
-                if not raw.strip():
-                    continue
-                try:
-                    obj = json.loads(raw)
-                except json.JSONDecodeError as exc:
-                    raise ValueError(
-                        f"{path}: line {lineno} is not valid JSON ({exc}); "
-                        "is this a snapshot file?"
-                    ) from exc
-                if "meta" in obj:
-                    meta = obj["meta"]
-                elif "section" in obj:
-                    sections[obj["section"]] = obj["payload"]
-                elif "table" in obj:
-                    tables.setdefault(obj["table"], []).append(obj["row"])
-                else:
-                    raise ValueError(f"{path}: line {lineno} has no known key")
-        if meta is None:
-            raise ValueError(f"{path}: no meta line — not a snapshot file")
-        return {"meta": meta, "sections": sections, "tables": tables}
-
-
-class SqliteBackend:
-    """Single-file SQLite database with real tables for the bulk rows."""
-
-    name = "sqlite"
-
-    _SCHEMA = """
-        CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
-        CREATE TABLE sections (name TEXT PRIMARY KEY, payload TEXT NOT NULL);
-        CREATE TABLE papers (
-            seq INTEGER PRIMARY KEY, pid INTEGER NOT NULL, payload TEXT NOT NULL
-        );
-        CREATE TABLE vertices (
-            net TEXT NOT NULL, seq INTEGER NOT NULL, vid INTEGER NOT NULL,
-            name TEXT NOT NULL, payload TEXT NOT NULL,
-            PRIMARY KEY (net, seq)
-        );
-        CREATE TABLE edges (
-            net TEXT NOT NULL, seq INTEGER NOT NULL, u INTEGER NOT NULL,
-            v INTEGER NOT NULL, payload TEXT NOT NULL,
-            PRIMARY KEY (net, seq)
-        );
-        CREATE TABLE embedding_rows (
-            seq INTEGER PRIMARY KEY, word TEXT NOT NULL, vector TEXT NOT NULL
-        );
-    """
-
-    def write(self, document: dict[str, Any], path: Path) -> None:
-        # A leftover (possibly truncated) file at the target confuses
-        # sqlite3.connect; start from a clean slate.  The caller hands us
-        # a .tmp path, never the live snapshot.
-        path.unlink(missing_ok=True)
-        conn = sqlite3.connect(path)
-        try:
-            with conn:  # one transaction for the entire snapshot
-                conn.executescript(self._SCHEMA)
-                conn.executemany(
-                    "INSERT INTO meta (key, value) VALUES (?, ?)",
-                    [(k, json.dumps(v)) for k, v in document["meta"].items()],
-                )
-                conn.executemany(
-                    "INSERT INTO sections (name, payload) VALUES (?, ?)",
-                    [
-                        (name, json.dumps(payload))
-                        for name, payload in document["sections"].items()
-                    ],
-                )
-                for name, rows in document["tables"].items():
-                    if name not in _TABLES:
-                        raise ValueError(f"unknown snapshot table {name!r}")
-                    if name == "papers":
-                        conn.executemany(
-                            "INSERT INTO papers (seq, pid, payload) "
-                            "VALUES (?, ?, ?)",
-                            [
-                                (i, row["pid"], json.dumps(row))
-                                for i, row in enumerate(rows)
-                            ],
-                        )
-                    elif name.endswith("_vertices"):
-                        net = name[: -len("_vertices")]
-                        conn.executemany(
-                            "INSERT INTO vertices (seq, net, vid, name, payload)"
-                            " VALUES (?, ?, ?, ?, ?)",
-                            [
-                                (i, net, row["vid"], row["name"], json.dumps(row))
-                                for i, row in enumerate(rows)
-                            ],
-                        )
-                    elif name.endswith("_edges"):
-                        net = name[: -len("_edges")]
-                        conn.executemany(
-                            "INSERT INTO edges (seq, net, u, v, payload) "
-                            "VALUES (?, ?, ?, ?, ?)",
-                            [
-                                (i, net, row["u"], row["v"], json.dumps(row))
-                                for i, row in enumerate(rows)
-                            ],
-                        )
-                    else:  # embedding_rows
-                        conn.executemany(
-                            "INSERT INTO embedding_rows (seq, word, vector) "
-                            "VALUES (?, ?, ?)",
-                            [
-                                (i, word, json.dumps(vector))
-                                for i, (word, vector) in enumerate(rows)
-                            ],
-                        )
-        finally:
-            conn.close()
-
-    def read(self, path: Path) -> dict[str, Any]:
-        conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
-        try:
-            meta = {
-                k: json.loads(v)
-                for k, v in conn.execute("SELECT key, value FROM meta")
-            }
-            sections = {
-                name: json.loads(payload)
-                for name, payload in conn.execute(
-                    "SELECT name, payload FROM sections"
-                )
-            }
-            tables: dict[str, list[Any]] = {}
-            papers = [
-                json.loads(payload)
-                for (payload,) in conn.execute(
-                    "SELECT payload FROM papers ORDER BY seq"
-                )
-            ]
-            if papers:
-                tables["papers"] = papers
-            for net, table, column in (
-                ("gcn", "vertices", "gcn_vertices"),
-                ("scn", "vertices", "scn_vertices"),
-                ("gcn", "edges", "gcn_edges"),
-                ("scn", "edges", "scn_edges"),
-            ):
-                rows = [
-                    json.loads(payload)
-                    for (payload,) in conn.execute(
-                        f"SELECT payload FROM {table} WHERE net = ? "
-                        "ORDER BY seq",
-                        (net,),
-                    )
-                ]
-                if rows or column in ("gcn_vertices", "gcn_edges"):
-                    tables[column] = rows
-            embedding = [
-                [word, json.loads(vector)]
-                for word, vector in conn.execute(
-                    "SELECT word, vector FROM embedding_rows ORDER BY seq"
-                )
-            ]
-            if embedding:
-                tables["embedding_rows"] = embedding
-            return {"meta": meta, "sections": sections, "tables": tables}
-        except sqlite3.DatabaseError as exc:
-            raise ValueError(f"{path}: not a readable snapshot ({exc})") from exc
-        finally:
-            conn.close()
-
-
-BACKENDS: dict[str, Any] = {
-    JsonlBackend.name: JsonlBackend(),
-    SqliteBackend.name: SqliteBackend(),
-}
-
-
-def resolve_backend(path: str | Path, backend: str | None = None):
-    """Pick a backend: explicit name > file magic > path suffix > JSONL.
-
-    Reading sniffs the file's first bytes (a SQLite database always
-    starts with the 16-byte magic header), so ``load`` works on any
-    snapshot regardless of how it was named.
-    """
-    if backend is not None:
-        try:
-            return BACKENDS[backend]
-        except KeyError:
-            raise ValueError(
-                f"unknown snapshot backend {backend!r}; "
-                f"choose from {sorted(BACKENDS)}"
-            ) from None
-    path = Path(path)
-    if path.exists():
-        with open(path, "rb") as fh:
-            if fh.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC:
-                return BACKENDS["sqlite"]
-        return BACKENDS["jsonl"]
-    if path.suffix.lower() in _SQLITE_SUFFIXES:
-        return BACKENDS["sqlite"]
-    return BACKENDS["jsonl"]
-
-
-def write_document(
-    document: dict[str, Any], path: str | Path, backend: str | None = None
-) -> Path:
-    """Atomically persist a document: tmp file + fsync + rename."""
-    path = Path(path)
-    # Resolution runs against the *destination*: overwriting an existing
-    # snapshot keeps its format (checkpoints never silently flip backend),
-    # a fresh path goes by explicit choice or suffix.
-    chosen = resolve_backend(path, backend)
-    tmp = path.with_name(path.name + ".tmp")
-    chosen.write(document, tmp)
-    _fsync_path(tmp)
-    os.replace(tmp, path)
-    _fsync_dir(path.parent)
-    return path
-
-
-def read_document(path: str | Path, backend: str | None = None) -> dict[str, Any]:
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"no snapshot at {path}")
-    return resolve_backend(path, backend).read(path)
-
-
-def _fsync_path(path: Path) -> None:
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def _fsync_dir(path: Path) -> None:
-    # Durability of the rename itself; not supported on some platforms
-    # (best effort — the rename's atomicity does not depend on it).
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def _line(obj: dict[str, Any]) -> str:
-    return json.dumps(obj, ensure_ascii=False, separators=(",", ":")) + "\n"
+__all__ = [
+    "BACKENDS",
+    "JsonlBackend",
+    "SqliteBackend",
+    "read_document",
+    "resolve_backend",
+    "write_document",
+]

@@ -92,6 +92,10 @@ class Snapshot:
     sharding: ShardingState | None = None
     stream: IncrementalReport | None = None
     version: int = schema.SCHEMA_VERSION
+    #: Highest delta-chain seq already folded into this base (0 = none).
+    #: Restore skips log records at or below this watermark — that is
+    #: what makes compaction crash-safe (see :mod:`repro.io.delta`).
+    delta_seq: int = 0
 
     # ------------------------------------------------------------------ #
     # construction from a fitted estimator
@@ -216,6 +220,10 @@ class Snapshot:
             "n_gcn_vertices": len(self.gcn),
             "n_gcn_edges": self.gcn.n_edges,
         }
+        if self.delta_seq:
+            # Only when nonzero: pre-delta snapshots (and the committed
+            # fixture) stay byte-identical.
+            meta["delta_seq"] = self.delta_seq
         return {"meta": meta, "sections": sections, "tables": tables}
 
     @classmethod
@@ -269,6 +277,7 @@ class Snapshot:
             sharding=sharding,
             stream=stream,
             version=version,
+            delta_seq=int(meta.get("delta_seq", 0)),
         )
 
     # ------------------------------------------------------------------ #
@@ -282,6 +291,48 @@ class Snapshot:
     def load(cls, path: str | Path, backend: str | None = None) -> "Snapshot":
         """Read a snapshot; the backend is sniffed from the file bytes."""
         return cls.from_document(backends.read_document(path, backend))
+
+    @classmethod
+    def load_chain(
+        cls, path: str | Path, backend: str | None = None
+    ) -> tuple["Snapshot", dict[str, Any] | None]:
+        """Load a base snapshot and replay its delta chain, if one rides it.
+
+        Looks for the ``<path>.delta`` append-only log next to the base
+        (see :mod:`repro.io.delta`); when present, validates it
+        (checksums, seq contiguity, base fingerprint — any damage raises
+        :class:`ValueError` with a one-line message) and replays every
+        record newer than the base's ``delta_seq`` watermark.  The
+        replayed snapshot is byte-identical to a full snapshot taken at
+        the chain's last checkpoint boundary.
+
+        Returns ``(snapshot, chain_info)`` where ``chain_info`` is
+        ``None`` when no log exists, else the dict
+        :func:`repro.io.delta.chain_info` describes.
+        """
+        from . import delta as delta_chain
+
+        document = backends.read_document(path, backend)
+        snapshot = cls.from_document(document)
+        log_path = delta_chain.delta_log_path(path)
+        if not log_path.exists():
+            return snapshot, None
+        fingerprint = delta_chain.document_fingerprint(document)
+        records = delta_chain.read_chain(
+            log_path, snapshot.delta_seq, fingerprint
+        )
+        for record in records:
+            delta_chain.replay_record(snapshot, record)
+        info = {
+            "log": str(log_path),
+            "log_bytes": log_path.stat().st_size,
+            "base_seq": snapshot.delta_seq,
+            "base_fingerprint": fingerprint,
+            "chain_length": len(records),
+            "last_seq": records[-1].seq if records else snapshot.delta_seq,
+            "n_papers": sum(len(r.papers) for r in records),
+        }
+        return snapshot, info
 
 
 def snapshot_of(
@@ -421,9 +472,16 @@ def snapshot_header(path: str | Path, backend: str | None = None) -> dict:
 
     The returned dict is JSON-ready::
 
-        {"path", "backend", "bytes", "format", "version", "kind",
-         "n_papers", "n_vertices", "n_edges", "has_scn", "has_stream",
-         "has_embeddings", "sharding": {...} | None, "stream": {...} | None}
+        {"path", "backend", "adapter", "bytes", "format", "version",
+         "kind", "n_papers", "n_vertices", "n_edges", "has_scn",
+         "has_stream", "has_embeddings", "sharding": {...} | None,
+         "stream": {...} | None, "delta_seq", "delta": {...} | None}
+
+    ``adapter`` is the resolved driver name (``backend`` is kept as an
+    alias for older callers).  ``delta`` summarises the sibling delta
+    chain when one exists — chain length, base fingerprint, seq range —
+    and a damaged chain (torn tail, checksum failure, seq gap) raises
+    here, so ``inspect`` on a broken chain exits non-zero.
     """
     path = Path(path)
     if not path.exists():
@@ -464,6 +522,7 @@ def snapshot_header(path: str | Path, backend: str | None = None) -> dict:
     header: dict = {
         "path": str(path),
         "backend": resolved.name,
+        "adapter": resolved.name,
         "bytes": path.stat().st_size,
         "format": meta["format"],
         "version": version,
@@ -521,6 +580,22 @@ def snapshot_header(path: str | Path, backend: str | None = None) -> dict:
             ) from None
     else:
         header["stream"] = None
+    from . import delta as delta_chain
+
+    try:
+        delta_seq = int(meta.get("delta_seq", 0))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{path}: non-integer delta_seq {meta.get('delta_seq')!r}"
+        ) from None
+    header["delta_seq"] = delta_seq
+    log_path = delta_chain.delta_log_path(path)
+    if log_path.exists():
+        header["delta"] = delta_chain.chain_info(
+            path, delta_seq, delta_chain.document_fingerprint(document)
+        )
+    else:
+        header["delta"] = None
     return header
 
 

@@ -68,6 +68,7 @@ class _IngestRequest:
 class _CheckpointRequest:
     path: Path | None
     backend: str | None
+    mode: str | None
     future: asyncio.Future
 
 
@@ -84,6 +85,7 @@ class EngineStats:
     n_requests: int
     n_papers_ingested: int
     n_checkpoints: int
+    delta_chain_length: int
     queue_depth: int
     n_papers: int
     n_vertices: int
@@ -100,6 +102,7 @@ class EngineStats:
             "n_requests": self.n_requests,
             "n_papers_ingested": self.n_papers_ingested,
             "n_checkpoints": self.n_checkpoints,
+            "delta_chain_length": self.delta_chain_length,
             "queue_depth": self.queue_depth,
             "n_papers": self.n_papers,
             "n_vertices": self.n_vertices,
@@ -157,6 +160,7 @@ class Engine:
             n_requests=self.n_requests,
             n_papers_ingested=self.n_papers_ingested,
             n_checkpoints=self.n_checkpoints,
+            delta_chain_length=self.ingestor.delta_chain_length,
             queue_depth=self._queue.qsize() if self._queue else 0,
             n_papers=view.n_papers,
             n_vertices=view.n_vertices,
@@ -213,21 +217,27 @@ class Engine:
         return future
 
     async def checkpoint(
-        self, path: str | Path | None = None, backend: str | None = None
+        self,
+        path: str | Path | None = None,
+        backend: str | None = None,
+        mode: str | None = None,
     ) -> Path:
         """Enqueue a checkpoint; resolves once it is durably on disk.
 
         Serialized with bursts by the queue: everything enqueued before
         this call is applied and published first, so the snapshot always
         captures a consistent post-burst state even while later ingest
-        requests keep queueing behind it.
+        requests keep queueing behind it.  ``mode`` picks full vs delta
+        (see :meth:`repro.core.streaming.StreamingIngestor.checkpoint`);
+        ``None`` follows ``config.checkpoint_mode``.
         """
         if self._queue is None:
             raise RuntimeError("engine not started")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await self._queue.put(
             _CheckpointRequest(
-                Path(path) if path is not None else None, backend, future
+                Path(path) if path is not None else None, backend, mode,
+                future,
             )
         )
         return await future
@@ -327,7 +337,10 @@ class Engine:
     async def _checkpoint(self, request: _CheckpointRequest) -> None:
         try:
             target = await asyncio.to_thread(
-                self.ingestor.checkpoint, request.path, request.backend
+                self.ingestor.checkpoint,
+                request.path,
+                request.backend,
+                request.mode,
             )
         except Exception as exc:
             if not request.future.done():

@@ -20,6 +20,8 @@ GET       /cluster-of     one name's clustering
 GET       /clusters       the whole clustering (load-harness parity dump)
 POST      /ingest         enqueue papers; ``wait`` (default true) awaits publish
 POST      /checkpoint     snapshot the post-burst state to disk
+                          (``mode``: ``full`` | ``delta`` — delta appends
+                          an O(burst) record to the chain log)
 ========  ==============  ====================================================
 
 Reads answer straight from the engine's current immutable view inside
@@ -275,12 +277,18 @@ class ServiceServer:
             body = request.json_body() if request.body else {}
             if not isinstance(body, dict):
                 raise BadRequest("checkpoint body must be a JSON object")
+            mode = body.get("mode")
+            if mode is not None and mode not in ("full", "delta"):
+                raise BadRequest(
+                    "checkpoint mode must be 'full' or 'delta'"
+                )
             path = await engine.checkpoint(
-                body.get("path"), body.get("backend")
+                body.get("path"), body.get("backend"), mode
             )
             return 200, {
                 "path": str(path),
                 "generation": engine.view.generation,
+                "delta_chain_length": engine.ingestor.delta_chain_length,
             }
         if request.path in (
             "/healthz", "/stats", "/who-is", "/resolve",

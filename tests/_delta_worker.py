@@ -1,0 +1,58 @@
+"""Subprocess worker for the delta-chain resume-parity suite.
+
+``tests/test_delta_checkpoint.py`` launches this in a **fresh Python
+process** to prove that base + delta-chain replay reconstructs the exact
+writer state without any help from the process that wrote the chain:
+
+    python tests/_delta_worker.py <base_snapshot> <papers.jsonl> \
+        <batch|scalar> <document_out.json> <assignments.json>
+
+The worker resumes an ingestor from ``base_snapshot`` (replaying its
+delta chain), streams the papers, appends one more delta checkpoint to
+the same chain, and dumps both its final state's canonical document and
+the assignments as JSON for the parent to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def main(argv: list[str]) -> int:
+    base_in, papers_path, mode, document_out, assignments_out = argv
+
+    from repro.core import StreamingIngestor
+    from repro.data.records import Paper
+    from repro.io.snapshot import snapshot_of
+
+    ingestor = StreamingIngestor.resume(base_in)
+    papers = [
+        Paper.from_json(line)
+        for line in Path(papers_path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if mode == "batch":
+        batches = ingestor.add_papers(papers)
+    elif mode == "scalar":
+        batches = [ingestor.add_paper(paper) for paper in papers]
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+    ingestor.checkpoint(mode="delta")
+    document = snapshot_of(ingestor.iuad, stream=ingestor.report).to_document()
+    Path(document_out).write_text(
+        json.dumps(document, sort_keys=True), encoding="utf-8"
+    )
+    payload = [
+        [[a.name, a.position, a.vid, a.created] for a in batch]
+        for batch in batches
+    ]
+    Path(assignments_out).write_text(json.dumps(payload), encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

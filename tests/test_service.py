@@ -547,6 +547,30 @@ class TestHTTP:
         snapshot = Snapshot.load(target)
         assert verify_snapshot(snapshot) == []
 
+    def test_checkpoint_endpoint_delta_mode(self, service, tmp_path):
+        """The delta wiring: mode rides the request, the chain length
+        rides /stats and the checkpoint response."""
+        target = tmp_path / "http_delta.jsonl"
+        status, answer = service.request(
+            "POST", "/checkpoint", {"path": str(target), "mode": "delta"}
+        )
+        # first delta checkpoint writes the base
+        assert status == 200 and answer["delta_chain_length"] == 0
+        status, answer = service.request(
+            "POST", "/checkpoint", {"path": str(target), "mode": "delta"}
+        )
+        assert status == 200 and answer["delta_chain_length"] == 1
+        status, stats = service.request("GET", "/stats")
+        assert status == 200 and stats["delta_chain_length"] == 1
+        restored, info = Snapshot.load_chain(target)
+        assert info["chain_length"] == 1
+        assert verify_snapshot(restored) == []
+        # a bogus mode is a request error, not a dead writer
+        status, error = service.request(
+            "POST", "/checkpoint", {"path": str(target), "mode": "nope"}
+        )
+        assert status == 400 and "mode" in error["error"]
+
     def test_error_surfaces(self, service):
         status, error = service.request("GET", "/who-is?pid=0")
         assert status == 400 and "name" in error["error"]

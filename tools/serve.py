@@ -57,9 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8080,
         help="TCP port (0 = ephemeral; the chosen port is announced)",
     )
+    from repro.io import list_adapters
+
     parser.add_argument(
-        "--backend", choices=("jsonl", "sqlite"), default=None,
-        help="force the snapshot backend (default: sniffed)",
+        "--backend", choices=tuple(list_adapters()), default=None,
+        help="force the snapshot adapter (default: sniffed)",
     )
     parser.add_argument(
         "--max-batch", type=int, default=64,
@@ -68,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="enable durable checkpoints to PATH (between bursts only)",
+    )
+    parser.add_argument(
+        "--checkpoint-mode", choices=("full", "delta"), default=None,
+        help="override the snapshot config's checkpoint_mode: full "
+             "rewrites the snapshot, delta appends O(burst) records to "
+             "PATH.delta (see repro.io.delta)",
     )
     parser.add_argument(
         "--switch-interval", type=float, default=0.001,
@@ -87,6 +95,8 @@ async def run(args: argparse.Namespace) -> int:
         # resume() points auto-checkpoints back at the source snapshot;
         # a serve-only process must never overwrite its warm-start file.
         ingestor.checkpoint_path = None
+    if args.checkpoint_mode is not None:
+        ingestor.set_checkpoint_mode(args.checkpoint_mode)
     engine = Engine(ingestor, max_batch=args.max_batch)
     await engine.start()
     server = ServiceServer(engine, host=args.host, port=args.port)
